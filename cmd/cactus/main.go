@@ -1,0 +1,317 @@
+// Command cactus is the driver for the Cactus reproduction: it lists and
+// runs workloads, prints per-kernel profiles, and regenerates every figure
+// and table of the paper on the device model.
+//
+// Usage:
+//
+//	cactus list
+//	cactus device
+//	cactus run <abbr> [...]
+//	cactus profile <abbr>
+//	cactus export <abbr> [file]
+//	cactus compare <abbr> [...]
+//	cactus figure <1..9>
+//	cactus table <1..4>
+//	cactus all
+//
+// Flags:
+//
+//	-device rtx3080|gtx1080   device model (default rtx3080)
+//	-clusters K               cluster count for figure 9 (default 6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cactus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cactus", flag.ContinueOnError)
+	deviceName := fs.String("device", "rtx3080", "device model: rtx3080 or gtx1080")
+	clusters := fs.Int("clusters", 6, "cluster count for figure 9")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command (list, device, run, profile, export, figure, table, all)")
+	}
+
+	var cfg gpu.DeviceConfig
+	switch *deviceName {
+	case "rtx3080":
+		cfg = gpu.RTX3080()
+	case "gtx1080":
+		cfg = gpu.GTX1080()
+	default:
+		return fmt.Errorf("unknown device %q", *deviceName)
+	}
+
+	cat, err := core.DefaultCatalog()
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+
+	switch rest[0] {
+	case "list":
+		tbl := report.NewTable("Workloads", "abbr", "suite", "domain", "name")
+		for _, w := range cat.All() {
+			tbl.AddRow(w.Abbr(), string(w.Suite()), string(w.Domain()), w.Name())
+		}
+		return tbl.Render(out)
+
+	case "device":
+		st := &core.Study{Device: cfg}
+		return core.Table2(st, out)
+
+	case "run":
+		if len(rest) < 2 {
+			return fmt.Errorf("run: need at least one workload abbreviation")
+		}
+		for _, abbr := range rest[1:] {
+			w, err := cat.Lookup(abbr)
+			if err != nil {
+				return err
+			}
+			p, err := core.Characterize(w, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s: %d kernels, %.3f ms GPU time, %s warp insts, agg II %.2f, agg GIPS %.1f\n",
+				w.Abbr(), len(p.Kernels), p.TotalTime*1e3,
+				fmtCount(p.TotalWarpInsts), p.AggII, p.AggGIPS)
+		}
+		return nil
+
+	case "export":
+		// The paper's future work: simulator-compatible kernel traces.
+		if len(rest) < 2 || len(rest) > 3 {
+			return fmt.Errorf("export: usage: export <abbr> [file]")
+		}
+		w, err := cat.Lookup(rest[1])
+		if err != nil {
+			return err
+		}
+		dev, err := gpu.New(cfg)
+		if err != nil {
+			return err
+		}
+		sess := profiler.NewSession(dev)
+		if err := w.Run(sess); err != nil {
+			return err
+		}
+		sink := io.Writer(out)
+		if len(rest) == 3 {
+			f, err := os.Create(rest[2])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sink = f
+		}
+		if err := trace.Export(sink, w.Abbr(), cfg, sess); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "exported %d launches\n", sess.LaunchCount())
+		return nil
+
+	case "profile":
+		if len(rest) != 2 {
+			return fmt.Errorf("profile: need exactly one workload abbreviation")
+		}
+		w, err := cat.Lookup(rest[1])
+		if err != nil {
+			return err
+		}
+		p, err := core.Characterize(w, cfg)
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable(
+			fmt.Sprintf("%s — %s (%.3f ms GPU time)", w.Abbr(), w.Name(), p.TotalTime*1e3),
+			"kernel", "share", "inv", "II", "GIPS", "occ", "SM eff", "L1", "L2", "mem stall")
+		for _, k := range p.Kernels {
+			m := k.Metrics
+			tbl.AddRow(k.Name,
+				fmt.Sprintf("%.1f%%", 100*k.TimeShare),
+				strconv.Itoa(k.Invocations),
+				fmt.Sprintf("%.2f", k.II()),
+				fmt.Sprintf("%.1f", k.GIPS()),
+				fmt.Sprintf("%.1f", m.Get(profiler.WarpOccupancy)),
+				fmt.Sprintf("%.2f", m.Get(profiler.SMEfficiency)),
+				fmt.Sprintf("%.2f", m.Get(profiler.L1HitRate)),
+				fmt.Sprintf("%.2f", m.Get(profiler.L2HitRate)),
+				fmt.Sprintf("%.2f", m.Get(profiler.StallMem)),
+			)
+		}
+		return tbl.Render(out)
+
+	case "figure":
+		if len(rest) != 2 {
+			return fmt.Errorf("figure: need a figure number 1..9")
+		}
+		n, err := strconv.Atoi(rest[1])
+		if err != nil || n < 1 || n > 9 {
+			return fmt.Errorf("figure: %q is not in 1..9", rest[1])
+		}
+		if n == 1 {
+			return core.Figure1(out)
+		}
+		st, err := studyFor(cat, cfg, n)
+		if err != nil {
+			return err
+		}
+		switch n {
+		case 2:
+			return core.Figure2(st, out)
+		case 3:
+			return core.Figure3(st, out)
+		case 4:
+			return core.Figure4(st, out)
+		case 5:
+			return core.Figure5(st, out)
+		case 6:
+			return core.Figure6(st, out)
+		case 7:
+			return core.Figure7(st, out)
+		case 8:
+			return core.Figure8(st, out)
+		case 9:
+			return core.Figure9(st, out, *clusters)
+		}
+		return nil
+
+	case "table":
+		if len(rest) != 2 {
+			return fmt.Errorf("table: need a table number 1..4")
+		}
+		switch rest[1] {
+		case "1":
+			st, err := core.NewStudy(cfg, core.CactusWorkloads()...)
+			if err != nil {
+				return err
+			}
+			return core.Table1(st, out)
+		case "2":
+			return core.Table2(&core.Study{Device: cfg}, out)
+		case "3":
+			return core.Table3(cat, out)
+		case "4":
+			return core.Table4(out)
+		}
+		return fmt.Errorf("table: %q is not in 1..4", rest[1])
+
+	case "compare":
+		// Cross-device sensitivity (the paper's future work): characterize
+		// the given workloads on the RTX 3080 and GTX 1080 models.
+		if len(rest) < 2 {
+			return fmt.Errorf("compare: need at least one workload abbreviation")
+		}
+		var ws []workloads.Workload
+		for _, abbr := range rest[1:] {
+			w, err := cat.Lookup(abbr)
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		a, err := core.NewStudy(gpu.RTX3080(), ws...)
+		if err != nil {
+			return err
+		}
+		bSt, err := core.NewStudy(gpu.GTX1080(), ws...)
+		if err != nil {
+			return err
+		}
+		cmps, err := core.CompareDevices(a, bSt)
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable("Cross-device comparison: RTX 3080 vs GTX 1080",
+			"workload", "3080 II", "3080 GIPS", "1080 II", "1080 GIPS", "speedup", "side stable")
+		for _, c := range cmps {
+			tbl.AddRow(c.Abbr,
+				fmt.Sprintf("%.2f", c.A.II), fmt.Sprintf("%.1f", c.A.GIPS),
+				fmt.Sprintf("%.2f", c.B.II), fmt.Sprintf("%.1f", c.B.GIPS),
+				fmt.Sprintf("%.2fx", c.Speedup), fmt.Sprintf("%v", c.SideStable))
+		}
+		return tbl.Render(out)
+
+	case "all":
+		st, err := core.NewStudy(cfg, cat.All()...)
+		if err != nil {
+			return err
+		}
+		if err := core.Figure1(out); err != nil {
+			return err
+		}
+		if err := core.Figure2(st, out); err != nil {
+			return err
+		}
+		if err := core.Table1(st, out); err != nil {
+			return err
+		}
+		if err := core.Figure3(st, out); err != nil {
+			return err
+		}
+		if err := core.Figure4(st, out); err != nil {
+			return err
+		}
+		if err := core.Figure5(st, out); err != nil {
+			return err
+		}
+		if err := core.Figure6(st, out); err != nil {
+			return err
+		}
+		if err := core.Figure7(st, out); err != nil {
+			return err
+		}
+		if err := core.Figure8(st, out); err != nil {
+			return err
+		}
+		return core.Figure9(st, out, *clusters)
+
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+// studyFor builds the smallest study each figure needs.
+func studyFor(cat *workloads.Catalog, cfg gpu.DeviceConfig, figure int) (*core.Study, error) {
+	switch figure {
+	case 2, 4:
+		return core.NewStudy(cfg, core.BaselineWorkloads()...)
+	case 3, 5, 6, 7:
+		return core.NewStudy(cfg, core.CactusWorkloads()...)
+	default: // 8, 9 compare all suites
+		return core.NewStudy(cfg, cat.All()...)
+	}
+}
+
+func fmtCount(v uint64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fB", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	}
+	return strconv.FormatUint(v, 10)
+}

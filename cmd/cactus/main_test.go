@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestRunArgValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no command", nil},
+		{"unknown command", []string{"frobnicate"}},
+		{"unknown device", []string{"-device", "voodoo3", "list"}},
+		{"figure out of range", []string{"figure", "12"}},
+		{"figure not a number", []string{"figure", "one"}},
+		{"table out of range", []string{"table", "9"}},
+		{"run without workload", []string{"run"}},
+		{"profile wrong arity", []string{"profile"}},
+		{"profile unknown workload", []string{"profile", "XYZ"}},
+		{"export wrong arity", []string{"export"}},
+		{"compare without workload", []string{"compare"}},
+	}
+	for _, tc := range cases {
+		if err := run(tc.args); err == nil {
+			t.Errorf("%s: expected an error for %v", tc.name, tc.args)
+		}
+	}
+}
+
+func TestRunFastCommands(t *testing.T) {
+	for _, args := range [][]string{
+		{"list"},
+		{"device"},
+		{"-device", "gtx1080", "device"},
+		{"table", "2"},
+		{"table", "3"},
+		{"table", "4"},
+		{"figure", "1"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}

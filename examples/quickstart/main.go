@@ -1,0 +1,50 @@
+// Quickstart: characterize one Cactus workload and print its profile, the
+// paper's dominant-kernel analysis, and its position on the roofline — the
+// minimal end-to-end use of the public characterization API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/md"
+	"repro/internal/roofline"
+)
+
+func main() {
+	// 1. Pick a device model (Table II's RTX 3080) and a workload.
+	cfg := gpu.RTX3080()
+	workload := md.Gromacs()
+
+	// 2. Run the workload under the profiler and derive its profile.
+	profile, err := core.Characterize(workload, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (%s)\n", workload.Name(), workload.Abbr())
+	fmt.Printf("  GPU time:          %.3f ms\n", profile.TotalTime*1e3)
+	fmt.Printf("  warp instructions: %d M\n", profile.TotalWarpInsts/1e6)
+	fmt.Printf("  kernels executed:  %d (Table I reports 9)\n", len(profile.Kernels))
+	fmt.Printf("  kernels for 70%%:   %d (Table I reports 3)\n", profile.KernelsFor(0.7))
+
+	// 3. Dominant-kernel analysis (Section IV of the paper).
+	fmt.Println("\ndominant kernels (70% of GPU time):")
+	for _, k := range profile.DominantKernels(0.7) {
+		fmt.Printf("  %-34s %5.1f%%  II=%7.2f  GIPS=%6.1f\n",
+			k.Name, 100*k.TimeShare, k.II(), k.GIPS())
+	}
+
+	// 4. Roofline placement (Figure 5).
+	model := roofline.ForDevice(cfg)
+	pt := profile.AggregatePoint()
+	fmt.Printf("\naggregate roofline point: II=%.2f GIPS=%.1f -> %s, %s (elbow at %.2f)\n",
+		pt.II, pt.GIPS, model.Classify(pt.II), model.BoundOf(pt.GIPS), model.ElbowII())
+
+	if err := core.Table2(&core.Study{Device: cfg}, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Suite comparison: the paper's headline contrast in one program. It runs a
+// representative slice of Cactus against Parboil/Rodinia baselines and
+// prints the kernel-count, time-concentration and roofline-diversity
+// statistics behind Observations #1, #4 and #6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/roofline"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cat, err := core.DefaultCatalog()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ws []workloads.Workload
+	for _, abbr := range []string{
+		"GMS", "LMC", "GST", "GRU", // Cactus
+		"pb-sgemm", "pb-spmv", "pb-stencil", "rd-kmeans", "rd-lud", "rd-bfs", // baselines
+	} {
+		w, err := cat.Lookup(abbr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	st, err := core.NewStudy(gpu.RTX3080(), ws...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := roofline.ForDevice(st.Device)
+
+	fmt.Printf("%-10s %-8s %8s %8s %8s %8s  %s\n",
+		"workload", "suite", "kernels", "k@70%", "aggII", "aggGIPS", "kernel mix (mem/cmp)")
+	for _, p := range st.Profiles {
+		var mem, cmp int
+		for _, k := range p.Kernels {
+			if model.Classify(k.II()) == roofline.MemoryIntensive {
+				mem++
+			} else {
+				cmp++
+			}
+		}
+		fmt.Printf("%-10s %-8s %8d %8d %8.2f %8.1f  %d/%d\n",
+			p.Abbr(), p.Workload.Suite(), len(p.Kernels), p.KernelsFor(0.7),
+			p.AggII, p.AggGIPS, mem, cmp)
+	}
+
+	// Observation #1: Cactus executes many more kernels.
+	var cactusKernels, baseKernels, nCactus, nBase int
+	for _, p := range st.Profiles {
+		if p.Workload.Suite() == workloads.Cactus {
+			cactusKernels += len(p.Kernels)
+			nCactus++
+		} else {
+			baseKernels += len(p.Kernels)
+			nBase++
+		}
+	}
+	fmt.Printf("\navg kernels per workload: Cactus %.1f vs baselines %.1f\n",
+		float64(cactusKernels)/float64(nCactus), float64(baseKernels)/float64(nBase))
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/graphx"
+	"repro/internal/md"
+	"repro/internal/mlapps"
+	"repro/internal/suites/parboil"
+	"repro/internal/suites/rodinia"
+	"repro/internal/suites/tango"
+	"repro/internal/workloads"
+)
+
+// CactusWorkloads returns the ten Cactus benchmarks in Table I order.
+func CactusWorkloads() []workloads.Workload {
+	return []workloads.Workload{
+		md.Gromacs(), md.LammpsRhodopsin(), md.LammpsColloid(),
+		graphx.SocialBFS(), graphx.RoadBFS(),
+		mlapps.DCGAN(), mlapps.NeuralStyle(), mlapps.ReinforcementLearning(),
+		mlapps.SpatialTransformer(), mlapps.LanguageTranslation(),
+	}
+}
+
+// BaselineWorkloads returns the Parboil, Rodinia and Tango benchmarks of
+// Table III (31 workloads).
+func BaselineWorkloads() []workloads.Workload {
+	var out []workloads.Workload
+	out = append(out, parboil.All()...)
+	out = append(out, rodinia.All()...)
+	out = append(out, tango.All()...)
+	return out
+}
+
+// DefaultCatalog returns every workload in the repository, Cactus first.
+func DefaultCatalog() (*workloads.Catalog, error) {
+	var all []workloads.Workload
+	all = append(all, CactusWorkloads()...)
+	all = append(all, BaselineWorkloads()...)
+	return workloads.NewCatalog(all...)
+}

@@ -1,0 +1,332 @@
+// Package core implements the paper's contribution: the top-down
+// GPU-compute characterization methodology. Given profiled workload runs it
+// computes GPU-time distributions and dominant-kernel sets (Figs. 2-3,
+// Table I), roofline placements (Figs. 4-7), the performance-metric
+// correlation analysis (Fig. 8), and the FAMD + hierarchical-clustering
+// workload-space analysis (Fig. 9), together with the coverage statistics
+// behind Observations #10-#12.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/roofline"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// KernelChar is one kernel's characterization within a workload profile.
+type KernelChar struct {
+	Name        string
+	Invocations int
+	TimeShare   float64 // fraction of the workload's GPU time
+	Metrics     profiler.Vector
+
+	instCount float64 // total warp instructions (Table I aggregation)
+}
+
+// WarpInstructions returns the kernel's total warp-instruction count.
+func (k KernelChar) WarpInstructions() uint64 { return uint64(k.instCount) }
+
+// II returns the kernel's instruction intensity.
+func (k KernelChar) II() float64 { return k.Metrics.Get(profiler.InstIntensity) }
+
+// GIPS returns the kernel's achieved performance.
+func (k KernelChar) GIPS() float64 { return k.Metrics.Get(profiler.GIPS) }
+
+// Profile is one workload's characterization.
+type Profile struct {
+	Workload workloads.Workload
+	// Kernels in descending time-share order (the paper's dominance rank).
+	Kernels []KernelChar
+	// TotalTime is the summed GPU time in seconds.
+	TotalTime float64
+	// TotalWarpInsts is the total executed warp instructions.
+	TotalWarpInsts uint64
+	// AggII and AggGIPS are the application-aggregate roofline coordinates
+	// (Fig. 5 plots these).
+	AggII, AggGIPS float64
+}
+
+// Abbr returns the workload abbreviation.
+func (p *Profile) Abbr() string { return p.Workload.Abbr() }
+
+// KernelsFor returns how many dominant kernels are needed to cover the
+// given fraction of GPU time (Table I's "70% execution time" column).
+func (p *Profile) KernelsFor(frac float64) int {
+	cum := 0.0
+	for i, k := range p.Kernels {
+		cum += k.TimeShare
+		if cum >= frac {
+			return i + 1
+		}
+	}
+	return len(p.Kernels)
+}
+
+// CumulativeShares returns the cumulative GPU-time distribution over the
+// dominance-ranked kernels (Fig. 3's series), truncated to at most maxK
+// entries (0 = all).
+func (p *Profile) CumulativeShares(maxK int) []float64 {
+	n := len(p.Kernels)
+	if maxK > 0 && maxK < n {
+		n = maxK
+	}
+	out := make([]float64, n)
+	cum := 0.0
+	for i := 0; i < n; i++ {
+		cum += p.Kernels[i].TimeShare
+		out[i] = cum
+	}
+	return out
+}
+
+// DominantKernels returns the smallest prefix of kernels covering frac of
+// the GPU time — the paper's dominant-kernel set.
+func (p *Profile) DominantKernels(frac float64) []KernelChar {
+	return p.Kernels[:p.KernelsFor(frac)]
+}
+
+// WeightedAvgInstsPerKernel returns Table I's "weighted average number of
+// warp instructions per kernel": the time-share-weighted mean of per-kernel
+// instruction counts.
+func (p *Profile) WeightedAvgInstsPerKernel() float64 {
+	var avg float64
+	for _, k := range p.Kernels {
+		avg += k.TimeShare * k.instCount
+	}
+	return avg
+}
+
+// AggregatePoint returns the workload's aggregate roofline point (Fig. 5).
+func (p *Profile) AggregatePoint() roofline.Point {
+	return roofline.Point{Label: p.Abbr(), II: p.AggII, GIPS: p.AggGIPS, TimeShare: 1}
+}
+
+// KernelPoints returns per-kernel roofline points (Figs. 4, 6, 7), labeled
+// workload:kernel.
+func (p *Profile) KernelPoints() []roofline.Point {
+	out := make([]roofline.Point, len(p.Kernels))
+	for i, k := range p.Kernels {
+		out[i] = roofline.Point{
+			Label: p.Abbr() + ":" + k.Name, II: k.II(), GIPS: k.GIPS(), TimeShare: k.TimeShare,
+		}
+	}
+	return out
+}
+
+// Characterize runs one workload on a fresh device and derives its profile.
+func Characterize(w workloads.Workload, cfg gpu.DeviceConfig) (*Profile, error) {
+	dev, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess := profiler.NewSession(dev)
+	if err := w.Run(sess); err != nil {
+		return nil, fmt.Errorf("core: running %s: %w", w.Abbr(), err)
+	}
+	return profileFromSession(w, sess)
+}
+
+func profileFromSession(w workloads.Workload, sess *profiler.Session) (*Profile, error) {
+	total := sess.TotalTime()
+	if total <= 0 {
+		return nil, fmt.Errorf("core: %s recorded no GPU time", w.Abbr())
+	}
+	p := &Profile{
+		Workload:       w,
+		TotalTime:      total,
+		TotalWarpInsts: sess.TotalWarpInstructions(),
+	}
+	var txns uint64
+	for _, l := range sess.Launches() {
+		txns += l.Traffic.DRAMTxns
+	}
+	if txns == 0 {
+		txns = 1
+	}
+	p.AggII = float64(p.TotalWarpInsts) / float64(txns)
+	p.AggGIPS = float64(p.TotalWarpInsts) / total / 1e9
+	for _, k := range sess.Kernels() {
+		p.Kernels = append(p.Kernels, KernelChar{
+			Name:        k.Name,
+			Invocations: k.Invocations,
+			TimeShare:   k.TotalTime / total,
+			Metrics:     k.Metrics(),
+			instCount:   float64(k.WarpInstructions()),
+		})
+	}
+	return p, nil
+}
+
+// Study characterizes a set of workloads once and caches their profiles —
+// the unit of work every figure and table derives from.
+type Study struct {
+	Device   gpu.DeviceConfig
+	Profiles []*Profile
+	byAbbr   map[string]*Profile
+}
+
+// NewStudy characterizes all the given workloads on cfg.
+func NewStudy(cfg gpu.DeviceConfig, ws ...workloads.Workload) (*Study, error) {
+	st := &Study{Device: cfg, byAbbr: make(map[string]*Profile)}
+	for _, w := range ws {
+		p, err := Characterize(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st.Profiles = append(st.Profiles, p)
+		st.byAbbr[w.Abbr()] = p
+	}
+	return st, nil
+}
+
+// Add appends an already-characterized profile to the study (used to slice
+// a full study into per-suite views without re-running workloads).
+func (st *Study) Add(p *Profile) {
+	if st.byAbbr == nil {
+		st.byAbbr = make(map[string]*Profile)
+	}
+	st.Profiles = append(st.Profiles, p)
+	st.byAbbr[p.Abbr()] = p
+}
+
+// Profile looks up a workload's profile by abbreviation.
+func (st *Study) Profile(abbr string) (*Profile, error) {
+	p, ok := st.byAbbr[abbr]
+	if !ok {
+		return nil, fmt.Errorf("core: no profile for %q", abbr)
+	}
+	return p, nil
+}
+
+// BySuite returns the study's profiles belonging to one suite.
+func (st *Study) BySuite(s workloads.Suite) []*Profile {
+	var out []*Profile
+	for _, p := range st.Profiles {
+		if p.Workload.Suite() == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DominantKernelObservations collects, across the given profiles, each
+// dominant kernel (70% cumulative time) as a labeled metric observation —
+// the input rows of the correlation and clustering analyses.
+type Observation struct {
+	Workload string
+	Kernel   string
+	Suite    workloads.Suite
+	Metrics  profiler.Vector
+	II, GIPS float64
+}
+
+// DominantObservations extracts dominant-kernel observations from profiles.
+func DominantObservations(profiles []*Profile, frac float64) []Observation {
+	var out []Observation
+	for _, p := range profiles {
+		for _, k := range p.DominantKernels(frac) {
+			out = append(out, Observation{
+				Workload: p.Abbr(), Kernel: k.Name, Suite: p.Workload.Suite(),
+				Metrics: k.Metrics, II: k.II(), GIPS: k.GIPS(),
+			})
+		}
+	}
+	return out
+}
+
+// CorrelationResult is Fig. 8 for one workload group: |PCC| of each primary
+// metric against each Table IV metric.
+type CorrelationResult struct {
+	Primary   []profiler.Metric
+	Secondary []profiler.Metric
+	// Abs[i][j] = |PCC(primary i, secondary j)|.
+	Abs [][]float64
+}
+
+// StrongOrWeakCount returns how many (primary, secondary) pairs correlate
+// at least weakly (|r| >= 0.2) — the paper's Fig. 8 comparison statistic.
+func (c *CorrelationResult) StrongOrWeakCount() int {
+	n := 0
+	for _, row := range c.Abs {
+		for _, v := range row {
+			if stats.Strength(v) != stats.NoCorrelation {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Correlate computes the Fig. 8 correlation heatmap over a set of
+// observations. Intensity values are log-transformed first: the paper's
+// metrics span orders of magnitude and Pearson on raw II is dominated by
+// outliers.
+func Correlate(obs []Observation) (*CorrelationResult, error) {
+	if len(obs) < 3 {
+		return nil, fmt.Errorf("core: %d observations, need >= 3", len(obs))
+	}
+	col := func(m profiler.Metric) []float64 {
+		out := make([]float64, len(obs))
+		for i, o := range obs {
+			v := o.Metrics.Get(m)
+			if m == profiler.InstIntensity || m == profiler.GIPS || m == profiler.DRAMReadThroughput {
+				v = math.Log10(v + 1e-9)
+			}
+			out[i] = v
+		}
+		return out
+	}
+	res := &CorrelationResult{
+		Primary:   profiler.PrimaryMetrics(),
+		Secondary: profiler.SecondaryMetrics(),
+	}
+	for _, pm := range res.Primary {
+		row := make([]float64, 0, len(res.Secondary))
+		pc := col(pm)
+		for _, sm := range res.Secondary {
+			r, err := stats.Pearson(pc, col(sm))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, math.Abs(r))
+		}
+		res.Abs = append(res.Abs, row)
+	}
+	return res, nil
+}
+
+// AmdahlExample reproduces the Section II-C worked example: a workload with
+// the given kernel time shares; it returns the speedup required on the most
+// dominant kernel alone to achieve the target overall speedup, and the
+// overall speedup if every kernel is improved by the target factor.
+func AmdahlExample(shares []float64, target float64) (dominantSpeedup, uniformSpeedup float64, err error) {
+	if len(shares) == 0 || target <= 1 {
+		return 0, 0, fmt.Errorf("core: invalid Amdahl example")
+	}
+	var sum, maxShare float64
+	for _, s := range shares {
+		if s <= 0 {
+			return 0, 0, fmt.Errorf("core: non-positive share")
+		}
+		sum += s
+		if s > maxShare {
+			maxShare = s
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return 0, 0, fmt.Errorf("core: shares sum to %g, want 1", sum)
+	}
+	// Overall time with dominant kernel sped up by x:
+	// T(x) = (1 - maxShare) + maxShare/x = 1/target
+	// => maxShare/x = 1/target - (1 - maxShare)
+	rhs := 1/target - (1 - maxShare)
+	if rhs <= 0 {
+		return math.Inf(1), target, nil
+	}
+	return maxShare / rhs, target, nil
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/profiler"
+	"repro/internal/report"
+	"repro/internal/roofline"
+	"repro/internal/survey"
+	"repro/internal/workloads"
+)
+
+// Figure1 renders the benchmark-suite popularity survey.
+func Figure1(w io.Writer) error {
+	tbl := report.NewTable("Figure 1: GPU-compute benchmark-suite usage in ISCA/MICRO/ASPLOS/HPCA papers, 2010-2020",
+		append([]string{"suite"}, yearHeaders()...)...)
+	for _, s := range survey.Ranking() {
+		series, err := survey.Series(s)
+		if err != nil {
+			return err
+		}
+		total, _ := survey.Total(s)
+		cells := []string{s}
+		for _, v := range series {
+			cells = append(cells, fmt.Sprintf("%d", v))
+		}
+		cells = append(cells, fmt.Sprintf("(total %d)", total))
+		tbl.AddRow(cells...)
+	}
+	return tbl.Render(w)
+}
+
+func yearHeaders() []string {
+	out := make([]string, 0, len(survey.Years)+1)
+	for _, y := range survey.Years {
+		out = append(out, fmt.Sprintf("%d", y%100))
+	}
+	return append(out, "")
+}
+
+// Figure2 renders the baseline GPU-time distribution: one stacked bar per
+// Parboil/Rodinia/Tango workload plus the concentration statistics.
+func Figure2(st *Study, w io.Writer) error {
+	fmt.Fprintln(w, "Figure 2: GPU time distribution for Parboil, Rodinia and Tango")
+	var oneK, twoK, threeK int
+	baselines := 0
+	for _, p := range st.Profiles {
+		if p.Workload.Suite() == workloads.Cactus {
+			continue
+		}
+		baselines++
+		var shares []float64
+		for _, k := range p.Kernels {
+			shares = append(shares, k.TimeShare)
+		}
+		fmt.Fprintf(w, "%-18s |%s| top=%.0f%% kernels=%d\n",
+			p.Abbr(), report.StackedBar(shares, 40), 100*p.Kernels[0].TimeShare, len(p.Kernels))
+		switch p.KernelsFor(0.7) {
+		case 1:
+			oneK++
+		case 2:
+			twoK++
+		default:
+			threeK++
+		}
+	}
+	fmt.Fprintf(w, "70%% of GPU time in 1 kernel: %d/%d workloads; in <=2: %d/%d; in 3: %d/%d\n",
+		oneK, baselines, oneK+twoK, baselines, threeK, baselines)
+	return nil
+}
+
+// Table1 renders the Cactus summary table.
+func Table1(st *Study, w io.Writer) error {
+	tbl := report.NewTable("Table I: the Cactus benchmark suite",
+		"workload", "total warp insts", "wavg insts/kernel", "kernels(100%)", "kernels(70%)")
+	for _, p := range st.BySuite(workloads.Cactus) {
+		tbl.AddRow(
+			p.Abbr(),
+			humanCount(float64(p.TotalWarpInsts)),
+			humanCount(p.WeightedAvgInstsPerKernel()),
+			fmt.Sprintf("%d", len(p.Kernels)),
+			fmt.Sprintf("%d", p.KernelsFor(0.7)),
+		)
+	}
+	return tbl.Render(w)
+}
+
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1f B", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1f M", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1f K", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// Figure3 renders the cumulative time distribution over dominant kernels
+// for the Cactus workloads (first 14 kernels, as in the paper).
+func Figure3(st *Study, w io.Writer) error {
+	tbl := report.NewTable("Figure 3: cumulative GPU-time distribution over dominant kernels (Cactus)",
+		"workload", "k=1", "k=2", "k=3", "k=5", "k=8", "k=11", "k=14")
+	picks := []int{1, 2, 3, 5, 8, 11, 14}
+	for _, p := range st.BySuite(workloads.Cactus) {
+		cum := p.CumulativeShares(14)
+		cells := []string{p.Abbr()}
+		for _, k := range picks {
+			idx := k - 1
+			if idx >= len(cum) {
+				idx = len(cum) - 1
+			}
+			cells = append(cells, fmt.Sprintf("%.0f%%", 100*cum[idx]))
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl.Render(w)
+}
+
+// rooflineChart renders points on the study's device roofline.
+func (st *Study) rooflineChart(title string, pts []roofline.Point, w io.Writer) error {
+	c := report.RooflineChart{
+		Title:  title,
+		Model:  roofline.ForDevice(st.Device),
+		Points: pts,
+	}
+	return c.Render(w)
+}
+
+// Figure4 renders the three baseline rooflines (per-kernel points weighted
+// by contribution).
+func Figure4(st *Study, w io.Writer) error {
+	for _, s := range []workloads.Suite{workloads.Parboil, workloads.Rodinia, workloads.Tango} {
+		var pts []roofline.Point
+		for _, p := range st.BySuite(s) {
+			for _, kp := range p.KernelPoints() {
+				if kp.TimeShare >= 0.05 {
+					kp.Label = p.Abbr()
+					pts = append(pts, kp)
+				}
+			}
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		if err := st.rooflineChart(fmt.Sprintf("Figure 4 (%s): per-kernel roofline", s), pts, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure5 renders the aggregate Cactus roofline.
+func Figure5(st *Study, w io.Writer) error {
+	var pts []roofline.Point
+	for _, p := range st.BySuite(workloads.Cactus) {
+		pts = append(pts, p.AggregatePoint())
+	}
+	return st.rooflineChart("Figure 5: Cactus aggregate roofline", pts, w)
+}
+
+// Figure6 renders the molecular and graph per-kernel rooflines plus their
+// dominant kernels.
+func Figure6(st *Study, w io.Writer) error {
+	groups := []struct {
+		title  string
+		domain workloads.Domain
+	}{
+		{"Figure 6a: molecular-simulation kernels", workloads.Molecular},
+		{"Figure 6b: graph-analytics kernels", workloads.Graph},
+	}
+	var domPts []roofline.Point
+	for _, g := range groups {
+		var pts []roofline.Point
+		for _, p := range st.BySuite(workloads.Cactus) {
+			if p.Workload.Domain() != g.domain {
+				continue
+			}
+			for _, kp := range p.KernelPoints() {
+				kp.Label = p.Abbr()
+				pts = append(pts, kp)
+			}
+			for _, k := range p.DominantKernels(0.7) {
+				domPts = append(domPts, roofline.Point{Label: p.Abbr(), II: k.II(), GIPS: k.GIPS(), TimeShare: k.TimeShare})
+			}
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		if err := st.rooflineChart(g.title, pts, w); err != nil {
+			return err
+		}
+	}
+	if len(domPts) > 0 {
+		return st.rooflineChart("Figure 6c: dominant molecular+graph kernels", domPts, w)
+	}
+	return nil
+}
+
+// Figure7 renders the machine-learning per-kernel rooflines.
+func Figure7(st *Study, w io.Writer) error {
+	var all, dominant []roofline.Point
+	for _, p := range st.BySuite(workloads.Cactus) {
+		if p.Workload.Domain() != workloads.MachineL {
+			continue
+		}
+		for _, kp := range p.KernelPoints() {
+			kp.Label = p.Abbr()
+			all = append(all, kp)
+		}
+		for _, k := range p.DominantKernels(0.7) {
+			dominant = append(dominant, roofline.Point{Label: p.Abbr(), II: k.II(), GIPS: k.GIPS(), TimeShare: k.TimeShare})
+		}
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("core: no ML profiles in study")
+	}
+	if err := st.rooflineChart("Figure 7a: all ML kernels by benchmark", all, w); err != nil {
+		return err
+	}
+	// 7b: color by contribution bucket.
+	var byContrib []roofline.Point
+	for _, p := range all {
+		label := "<10%"
+		if p.TimeShare >= 0.1 {
+			label = ">=10%"
+		}
+		byContrib = append(byContrib, roofline.Point{Label: label, II: p.II, GIPS: p.GIPS, TimeShare: p.TimeShare})
+	}
+	if err := st.rooflineChart("Figure 7b: all ML kernels by contribution", byContrib, w); err != nil {
+		return err
+	}
+	model := roofline.ForDevice(st.Device)
+	nearRoof := 0
+	for _, p := range dominant {
+		if model.NearMemoryRoof(p, 0.5) {
+			nearRoof++
+		}
+	}
+	if err := st.rooflineChart("Figure 7c: dominant ML kernels", dominant, w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dominant ML kernels within 50%% of the memory roof: %d/%d\n", nearRoof, len(dominant))
+	return nil
+}
+
+// Figure8 renders the correlation heatmaps for Cactus versus PRT and the
+// correlated-pair counts.
+func Figure8(st *Study, w io.Writer) error {
+	var cactus, prt []*Profile
+	for _, p := range st.Profiles {
+		if p.Workload.Suite() == workloads.Cactus {
+			cactus = append(cactus, p)
+		} else {
+			prt = append(prt, p)
+		}
+	}
+	names := func(ms []profiler.Metric) []string {
+		out := make([]string, len(ms))
+		for i, m := range ms {
+			out[i] = m.String()
+		}
+		return out
+	}
+	for _, grp := range []struct {
+		title    string
+		profiles []*Profile
+	}{
+		{"Figure 8a: |PCC| heatmap — Cactus", cactus},
+		{"Figure 8b: |PCC| heatmap — Parboil/Rodinia/Tango", prt},
+	} {
+		if len(grp.profiles) == 0 {
+			continue
+		}
+		obs := DominantObservations(grp.profiles, 0.7)
+		res, err := Correlate(obs)
+		if err != nil {
+			return err
+		}
+		if err := report.RenderHeatmap(w, grp.title, names(res.Primary), names(res.Secondary), res.Abs); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "correlated (weak or strong) pairs: %d of %d\n\n",
+			res.StrongOrWeakCount(), len(res.Primary)*len(res.Secondary))
+	}
+	return nil
+}
+
+// Figure9 renders the FAMD + hierarchical-clustering dendrogram of the
+// dominant kernels across all suites and the coverage statistics.
+func Figure9(st *Study, w io.Writer, k int) error {
+	obs := DominantObservations(st.Profiles, 0.7)
+	model := roofline.ForDevice(st.Device)
+	ca, err := Cluster(obs, model, 6, k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 9: dominant-kernel dendrogram (%d kernels, FAMD cumulative variance of kept dims: %.0f%%)\n",
+		len(obs), 100*ca.FAMD.CumulativeVariance(6))
+	if err := report.RenderClusterSummary(w, ca.Dendrogram, k); err != nil {
+		return err
+	}
+	for _, s := range []workloads.Suite{workloads.Cactus, workloads.Parboil, workloads.Rodinia, workloads.Tango} {
+		fmt.Fprintf(w, "%-8s covers %d/%d clusters; dominates %v\n",
+			s, ca.ClustersCoveredBy(s), k, ca.ClustersDominatedBy(s))
+	}
+	return report.RenderDendrogram(w, ca.Dendrogram, k)
+}
+
+// Table2 renders the system setup.
+func Table2(st *Study, w io.Writer) error {
+	cfg := st.Device
+	tbl := report.NewTable("Table II: system setup (device model)", "component", "value")
+	tbl.AddRow("GPU", cfg.Name)
+	tbl.AddRow("SMs", fmt.Sprintf("%d x %d CUDA cores @ %.1f GHz", cfg.NumSMs, cfg.CoresPerSM, cfg.ClockGHz))
+	tbl.AddRow("DRAM", fmt.Sprintf("%d GB, %.1f GB/s", cfg.DRAMBytes>>30, cfg.DRAMBandwidth))
+	tbl.AddRow("L2", fmt.Sprintf("%d MB", cfg.L2Bytes>>20))
+	tbl.AddRow("peak GIPS", fmt.Sprintf("%.1f", cfg.PeakGIPS()))
+	tbl.AddRow("peak GTXN/s", fmt.Sprintf("%.2f", cfg.PeakGTXN()))
+	tbl.AddRow("roofline elbow II", fmt.Sprintf("%.2f", cfg.ElbowII()))
+	return tbl.Render(w)
+}
+
+// Table3 renders the baseline benchmark list.
+func Table3(cat *workloads.Catalog, w io.Writer) error {
+	tbl := report.NewTable("Table III: baseline benchmarks", "suite", "workloads")
+	for _, s := range []workloads.Suite{workloads.Parboil, workloads.Rodinia, workloads.Tango} {
+		var names string
+		for i, wk := range cat.BySuite(s) {
+			if i > 0 {
+				names += ", "
+			}
+			names += wk.Abbr()
+		}
+		tbl.AddRow(string(s), names)
+	}
+	return tbl.Render(w)
+}
+
+// Table4 renders the collected performance metrics.
+func Table4(w io.Writer) error {
+	tbl := report.NewTable("Table IV: performance characteristics", "metric", "primary")
+	for _, m := range profiler.Metrics() {
+		p := ""
+		if m.Primary() {
+			p = "yes"
+		}
+		tbl.AddRow(m.String(), p)
+	}
+	return tbl.Render(w)
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Renders(t *testing.T) {
+	var b strings.Builder
+	if err := Figure1(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Rodinia") || !strings.Contains(out, "Parboil") {
+		t.Error("survey suites missing")
+	}
+	// Rodinia must rank first (the paper's headline finding).
+	rodiniaIdx := strings.Index(out, "Rodinia")
+	parboilIdx := strings.Index(out, "Parboil")
+	if rodiniaIdx > parboilIdx {
+		t.Error("Rodinia should be ranked above Parboil")
+	}
+}
+
+func TestFigure2AndTable1(t *testing.T) {
+	st := study(t)
+	var b strings.Builder
+	if err := Figure2(st, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "70% of GPU time") {
+		t.Errorf("figure 2 output: %s", b.String())
+	}
+	b.Reset()
+	if err := Table1(st, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GMS", "kernels(70%)"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("table 1 missing %q", want)
+		}
+	}
+}
+
+func TestFigure3Through9Render(t *testing.T) {
+	st := study(t)
+	var b strings.Builder
+	if err := Figure3(st, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "k=14") {
+		t.Error("figure 3 columns")
+	}
+	b.Reset()
+	if err := Figure4(st, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "parboil") {
+		t.Error("figure 4 suites")
+	}
+	b.Reset()
+	if err := Figure5(st, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "elbow II=21.7") {
+		t.Error("figure 5 roofline")
+	}
+	b.Reset()
+	if err := Figure6(st, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 6a") {
+		t.Error("figure 6")
+	}
+	b.Reset()
+	if err := Figure8(st, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "correlated (weak or strong) pairs") {
+		t.Error("figure 8")
+	}
+	b.Reset()
+	if err := Figure9(st, &b, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dendrogram", "cactus", "covers"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("figure 9 missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestFigure7RequiresMLProfiles(t *testing.T) {
+	st := study(t) // subset without ML workloads
+	var b strings.Builder
+	if err := Figure7(st, &b); err == nil {
+		t.Error("figure 7 without ML profiles should fail")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	st := study(t)
+	var b strings.Builder
+	if err := Table2(st, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"516.8", "23.76", "21.7"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("table 2 missing %q", want)
+		}
+	}
+	cat, err := DefaultCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := Table3(cat, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "pb-sgemm") || !strings.Contains(b.String(), "rd-lud") {
+		t.Error("table 3 workload lists")
+	}
+	b.Reset()
+	if err := Table4(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Warp occupancy") || !strings.Contains(b.String(), "Memory stall") {
+		t.Error("table 4 metrics")
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[float64]string{
+		5:     "5",
+		5300:  "5.3 K",
+		2.5e6: "2.5 M",
+		3.1e9: "3.1 B",
+	}
+	for v, want := range cases {
+		if got := humanCount(v); got != want {
+			t.Errorf("humanCount(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

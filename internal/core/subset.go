@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/roofline"
+	"repro/internal/stats"
+)
+
+// Representative is one selected kernel with its cluster context —
+// the output of workload subsetting.
+type Representative struct {
+	Observation
+	Cluster int
+	// Weight is the cluster's share of all dominant kernels: a subset user
+	// weighs the representative's measurements by this factor.
+	Weight float64
+}
+
+// SelectRepresentatives picks one medoid kernel per cluster — the
+// workload-subsetting methodology the paper cites ([2], [17], [49], [54]):
+// cluster the dominant kernels in the FAMD space, then keep the kernel
+// closest to each cluster centroid as the cluster's representative.
+func SelectRepresentatives(obs []Observation, model roofline.Model, k int) ([]Representative, error) {
+	ca, err := Cluster(obs, model, 6, k)
+	if err != nil {
+		return nil, err
+	}
+	coords := ca.FAMD.Coords
+	dim := len(coords[0])
+
+	// Centroids per cluster.
+	centroids := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range centroids {
+		centroids[i] = make([]float64, dim)
+	}
+	for i, c := range ca.Assign {
+		counts[c]++
+		for d := 0; d < dim; d++ {
+			centroids[c][d] += coords[i][d]
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			return nil, fmt.Errorf("core: empty cluster %d", c)
+		}
+		for d := 0; d < dim; d++ {
+			centroids[c][d] /= float64(counts[c])
+		}
+	}
+
+	// Medoid = member closest to the centroid.
+	best := make([]int, k)
+	bestD := make([]float64, k)
+	for c := range best {
+		best[c] = -1
+	}
+	for i, c := range ca.Assign {
+		d := stats.EuclideanDist(coords[i], centroids[c])
+		if best[c] == -1 || d < bestD[c] {
+			best[c], bestD[c] = i, d
+		}
+	}
+
+	out := make([]Representative, 0, k)
+	for c := 0; c < k; c++ {
+		out = append(out, Representative{
+			Observation: obs[best[c]],
+			Cluster:     c,
+			Weight:      float64(counts[c]) / float64(len(obs)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out, nil
+}
+
+// DeviceComparison records one workload's aggregate behavior on two devices
+// — the cross-platform sensitivity study the paper lists as future work.
+type DeviceComparison struct {
+	Abbr string
+	// A and B are the aggregate roofline points on the two devices.
+	A, B roofline.Point
+	// SideStable reports whether the workload stays on the same side of
+	// each device's own elbow.
+	SideStable bool
+	// Speedup is device A's aggregate GIPS over device B's.
+	Speedup float64
+}
+
+// CompareDevices characterizes the same workloads on two device models and
+// reports per-workload placement stability and speedups.
+func CompareDevices(a, b *Study) ([]DeviceComparison, error) {
+	ma, mb := roofline.ForDevice(a.Device), roofline.ForDevice(b.Device)
+	var out []DeviceComparison
+	for _, pa := range a.Profiles {
+		pb, err := b.Profile(pa.Abbr())
+		if err != nil {
+			return nil, err
+		}
+		cmpRec := DeviceComparison{
+			Abbr: pa.Abbr(),
+			A:    pa.AggregatePoint(),
+			B:    pb.AggregatePoint(),
+		}
+		cmpRec.SideStable = ma.Classify(pa.AggII) == mb.Classify(pb.AggII)
+		if pb.AggGIPS > 0 {
+			cmpRec.Speedup = pa.AggGIPS / pb.AggGIPS
+		}
+		out = append(out, cmpRec)
+	}
+	return out, nil
+}

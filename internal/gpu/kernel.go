@@ -1,0 +1,151 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/memsim"
+)
+
+// TraceFunc replays a kernel's global-memory address trace (or a sampled
+// subset of it) against the cache hierarchy. Workloads with data-dependent
+// locality supply one instead of declarative streams.
+type TraceFunc func(h *memsim.Hierarchy)
+
+// KernelSpec describes one kernel launch to the device model. Workload code
+// derives every field from its live data structures, so launch sequences are
+// input-dependent — the property the paper's Observation #3 highlights.
+type KernelSpec struct {
+	// Name identifies the kernel; launches with equal names aggregate into
+	// one "kernel" in the paper's sense (ri invocations of kernel i).
+	Name string
+	// Grid and Block give the launch geometry (blocks, threads per block).
+	Grid, Block Dim3
+
+	// Mix is the launch's total warp-instruction histogram.
+	Mix isa.Mix
+
+	// Streams declaratively describe global-memory traffic (model mode).
+	Streams []memsim.Stream
+	// Trace, when non-nil, replays addresses through the cache simulator
+	// (trace mode). TraceCoverage gives the fraction of the launch's
+	// traffic the trace represents; resolved traffic is scaled by its
+	// inverse. Both Streams and Trace may be present; their traffic adds.
+	Trace         TraceFunc
+	TraceCoverage float64
+
+	// SharedMemPerBlock and RegsPerThread participate in the occupancy
+	// calculation. Zero RegsPerThread defaults to 32.
+	SharedMemPerBlock int
+	RegsPerThread     int
+
+	// DivergenceFraction is the fraction of issue slots lost to branch
+	// divergence and predication (0 = fully converged).
+	DivergenceFraction float64
+	// DependencyFraction is the fraction of issue slots in which the oldest
+	// ready warp stalls on a register dependency (models low ILP). Zero
+	// defaults to a moderate 0.15.
+	DependencyFraction float64
+}
+
+// Validate reports spec construction errors.
+func (k KernelSpec) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("gpu: kernel with empty name")
+	}
+	if k.Grid.Count() <= 0 || k.Block.Count() <= 0 {
+		return fmt.Errorf("gpu: kernel %s: empty geometry grid=%v block=%v", k.Name, k.Grid, k.Block)
+	}
+	if k.Block.Count() > 1024 {
+		return fmt.Errorf("gpu: kernel %s: block size %d exceeds 1024", k.Name, k.Block.Count())
+	}
+	if k.Mix.Total() == 0 {
+		return fmt.Errorf("gpu: kernel %s: empty instruction mix", k.Name)
+	}
+	if k.DivergenceFraction < 0 || k.DivergenceFraction >= 1 {
+		return fmt.Errorf("gpu: kernel %s: divergence fraction %g out of [0,1)", k.Name, k.DivergenceFraction)
+	}
+	if k.Trace != nil && (k.TraceCoverage <= 0 || k.TraceCoverage > 1) {
+		return fmt.Errorf("gpu: kernel %s: trace coverage %g out of (0,1]", k.Name, k.TraceCoverage)
+	}
+	for _, s := range k.Streams {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("gpu: kernel %s: %w", k.Name, err)
+		}
+	}
+	return nil
+}
+
+// Warps returns the number of warps in the launch.
+func (k KernelSpec) Warps() int {
+	warpsPerBlock := (k.Block.Count() + 31) / 32
+	return k.Grid.Count() * warpsPerBlock
+}
+
+// Occupancy describes how many blocks/warps of a kernel fit on one SM.
+type Occupancy struct {
+	BlocksPerSM int
+	WarpsPerSM  int
+	// Achieved is the average number of active warps per SM over the launch,
+	// accounting for grids too small to fill the device.
+	Achieved float64
+	// Limiter names the occupancy-limiting resource.
+	Limiter string
+}
+
+// occupancyOf computes theoretical and achieved occupancy for spec on c.
+func occupancyOf(c DeviceConfig, k KernelSpec) Occupancy {
+	warpsPerBlock := (k.Block.Count() + 31) / 32
+	regs := k.RegsPerThread
+	if regs <= 0 {
+		regs = 32
+	}
+
+	limit := c.MaxBlocksPerSM
+	limiter := "blocks"
+	if byWarps := c.MaxWarpsPerSM / warpsPerBlock; byWarps < limit {
+		limit, limiter = byWarps, "warps"
+	}
+	if k.SharedMemPerBlock > 0 {
+		if bySmem := c.SharedPerSM / k.SharedMemPerBlock; bySmem < limit {
+			limit, limiter = bySmem, "shared memory"
+		}
+	}
+	regsPerBlock := regs * k.Block.Count()
+	if regsPerBlock > 0 {
+		if byRegs := c.RegistersPerSM / regsPerBlock; byRegs < limit {
+			limit, limiter = byRegs, "registers"
+		}
+	}
+	if limit < 1 {
+		limit, limiter = 1, limiter+" (over budget)"
+	}
+
+	o := Occupancy{
+		BlocksPerSM: limit,
+		WarpsPerSM:  limit * warpsPerBlock,
+		Limiter:     limiter,
+	}
+
+	// Achieved occupancy: distribute grid blocks over SMs in waves.
+	totalBlocks := k.Grid.Count()
+	perDeviceWave := c.NumSMs * limit
+	fullWaves := totalBlocks / perDeviceWave
+	tail := totalBlocks % perDeviceWave
+	// Average active warps per SM, weighted by wave duration (each wave is
+	// assumed equally long; the tail wave only partially fills SMs).
+	waves := float64(fullWaves)
+	active := waves * float64(o.WarpsPerSM)
+	if tail > 0 {
+		active += float64(tail) * float64(warpsPerBlock) / float64(c.NumSMs)
+		waves++
+	}
+	if waves == 0 {
+		waves = 1
+	}
+	o.Achieved = active / waves
+	if o.Achieved > float64(c.MaxWarpsPerSM) {
+		o.Achieved = float64(c.MaxWarpsPerSM)
+	}
+	return o
+}

@@ -1,0 +1,253 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/memsim"
+)
+
+// pipeRate returns a class's per-SM throughput in warp instructions per
+// cycle, modeling an Ampere SM: 128 FP32 lanes (4 warp FMA/cycle), 2 FP64
+// units, 64 INT32 lanes, 4 SFU ports, 16 LD/ST ports.
+func pipeRate(c isa.Class) float64 {
+	switch c {
+	case isa.FP32, isa.Tensor:
+		return 4
+	case isa.FP64:
+		return 0.0625
+	case isa.INT:
+		return 2
+	case isa.SFU:
+		return 0.5
+	case isa.LoadGlobal, isa.StoreGlobal, isa.LoadShared, isa.StoreShared, isa.LoadConst:
+		return 1
+	case isa.Branch, isa.Sync, isa.Misc:
+		return 4 // issue-limited only
+	}
+	return 4
+}
+
+// LaunchResult reports the modeled execution of one kernel launch, carrying
+// everything the profiler needs to compute the paper's Table IV metrics.
+type LaunchResult struct {
+	Name        string
+	Grid, Block Dim3
+
+	// Time is the modeled kernel duration in seconds, including launch
+	// overhead.
+	Time float64
+	// Mix is the executed warp-instruction histogram.
+	Mix isa.Mix
+	// Traffic is the resolved global-memory traffic.
+	Traffic memsim.Traffic
+	// Occ is the occupancy outcome.
+	Occ Occupancy
+
+	// SMEfficiency is the fraction of kernel time with at least one active
+	// warp per SM.
+	SMEfficiency float64
+	// GIPS is achieved Giga warp instructions per second.
+	GIPS float64
+	// InstIntensity is warp instructions per DRAM transaction (the roofline
+	// x-axis). Infinite (math.Inf) when the kernel produced no DRAM traffic.
+	InstIntensity float64
+	// DRAMReadBytesPerSec is the achieved DRAM read throughput.
+	DRAMReadBytesPerSec float64
+	// LDSTUtil and SPUtil are the load/store- and FP32-pipe busy fractions.
+	LDSTUtil, SPUtil float64
+	// Stall ratios (fractions of issue opportunities lost per cause).
+	StallExec, StallPipe, StallSync, StallMem float64
+}
+
+// Device models one GPU. Launch is safe for concurrent use; trace replay is
+// serialized internally because the cache simulator is stateful.
+type Device struct {
+	cfg      DeviceConfig
+	locality *memsim.LocalityModel
+
+	mu   sync.Mutex
+	hier *memsim.Hierarchy
+}
+
+// New builds a device from cfg.
+func New(cfg DeviceConfig) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{
+		cfg:      cfg,
+		locality: memsim.NewLocalityModel(cfg.NumSMs, cfg.L1BytesPerSM, cfg.L2Bytes),
+		hier:     memsim.NewHierarchy(cfg.L1Config(), cfg.L2Config()),
+	}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() DeviceConfig { return d.cfg }
+
+// Launch models the execution of one kernel and returns its result.
+func (d *Device) Launch(spec KernelSpec) (LaunchResult, error) {
+	if err := spec.Validate(); err != nil {
+		return LaunchResult{}, err
+	}
+
+	// --- Memory traffic -------------------------------------------------
+	traffic, err := d.locality.ResolveAll(spec.Streams)
+	if err != nil {
+		return LaunchResult{}, fmt.Errorf("gpu: kernel %s: %w", spec.Name, err)
+	}
+	if spec.Trace != nil {
+		d.mu.Lock()
+		d.hier.Reset()
+		spec.Trace(d.hier)
+		traced := d.hier.Traffic().Scale(1 / spec.TraceCoverage)
+		d.mu.Unlock()
+		traffic.Add(traced)
+	}
+
+	// --- Occupancy and efficiency ---------------------------------------
+	occ := occupancyOf(d.cfg, spec)
+	mix := spec.Mix
+	total := mix.Total()
+
+	globalFrac := float64(mix.GlobalOps()) / float64(total)
+	// Warps needed per scheduler to hide latency: a handful for arithmetic
+	// dependencies, many more when global-memory latency dominates.
+	required := 2.0 + 28.0*globalFrac
+	activePerSched := occ.Achieved / float64(d.cfg.SchedulersPerSM)
+	effOcc := activePerSched / (activePerSched + required)
+	dep := spec.DependencyFraction
+	if dep <= 0 {
+		dep = 0.15
+	}
+	eff := effOcc * (1 - spec.DivergenceFraction) * (1 - dep)
+	if eff <= 0 {
+		eff = 1e-3
+	}
+
+	// --- Interval timing -------------------------------------------------
+	clockHz := d.cfg.ClockGHz * 1e9
+	issueRate := float64(d.cfg.NumSMs*d.cfg.SchedulersPerSM) * clockHz // warp insts/s
+	tIssue := float64(total) / issueRate
+
+	tPipe := 0.0
+	pipeClass := isa.FP32
+	for _, c := range isa.Classes() {
+		n := mix.Count(c)
+		if n == 0 {
+			continue
+		}
+		t := float64(n) / (pipeRate(c) * float64(d.cfg.NumSMs) * clockHz)
+		if t > tPipe {
+			tPipe, pipeClass = t, c
+		}
+	}
+	tCompute := math.Max(tIssue, tPipe) / eff
+
+	dramEff := 0.85
+	tMem := float64(traffic.DRAMTxns) / (d.cfg.PeakGTXN() * 1e9 * dramEff)
+
+	// Barriers serialize block phases: charge ~30 stall cycles per sync
+	// warp instruction on its scheduler.
+	tSync := float64(mix.Count(isa.Sync)) * 30 / issueRate
+
+	tExec := math.Max(tCompute, tMem) + tSync
+	tTotal := tExec + spec.LaunchOverhead(d.cfg)
+
+	// --- Derived metrics --------------------------------------------------
+	res := LaunchResult{
+		Name:    spec.Name,
+		Grid:    spec.Grid,
+		Block:   spec.Block,
+		Time:    tTotal,
+		Mix:     mix,
+		Traffic: traffic,
+		Occ:     occ,
+	}
+	res.GIPS = float64(total) / tTotal / 1e9
+	if traffic.DRAMTxns > 0 {
+		res.InstIntensity = float64(total) / float64(traffic.DRAMTxns)
+	} else {
+		res.InstIntensity = math.Inf(1)
+	}
+	res.DRAMReadBytesPerSec = float64(traffic.DRAMReadTx) * float64(memsim.SectorBytes) / tTotal
+
+	lsuInsts := mix.MemoryOps()
+	res.LDSTUtil = clamp01(float64(lsuInsts) / (1 * float64(d.cfg.NumSMs) * clockHz * tTotal))
+	res.SPUtil = clamp01(float64(mix.Count(isa.FP32)) / (4 * float64(d.cfg.NumSMs) * clockHz * tTotal))
+
+	res.SMEfficiency = smEfficiency(d.cfg, spec, occ)
+
+	// Stall attribution: shares of lost issue opportunities.
+	memShare := 0.0
+	if tExec > 0 {
+		memShare = clamp01(tMem/tExec)*0.85 + 0.1*globalFrac
+	}
+	res.StallMem = clamp01(memShare)
+	res.StallExec = clamp01(dep * (tCompute / math.Max(tExec, 1e-12)))
+	pipeExcess := 0.0
+	if tPipe > tIssue && pipeClass.IsCompute() {
+		pipeExcess = (tPipe - tIssue) / tPipe
+	}
+	res.StallPipe = clamp01(pipeExcess * (tCompute / math.Max(tExec, 1e-12)))
+	res.StallSync = clamp01(tSync / math.Max(tExec, 1e-12))
+	normalizeStalls(&res)
+
+	return res, nil
+}
+
+// MustLaunch is Launch that panics on error; for workload code whose specs
+// are constructed programmatically and cannot legally be invalid.
+func (d *Device) MustLaunch(spec KernelSpec) LaunchResult {
+	res, err := d.Launch(spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// LaunchOverhead returns the fixed launch latency in seconds.
+func (k KernelSpec) LaunchOverhead(c DeviceConfig) float64 {
+	return c.LaunchOverheadNs * 1e-9
+}
+
+func smEfficiency(c DeviceConfig, k KernelSpec, occ Occupancy) float64 {
+	blocks := k.Grid.Count()
+	if blocks < c.NumSMs {
+		return float64(blocks) / float64(c.NumSMs)
+	}
+	perWave := c.NumSMs * occ.BlocksPerSM
+	waves := (blocks + perWave - 1) / perWave
+	tail := blocks % perWave
+	if tail == 0 {
+		return 1
+	}
+	busySMs := (tail + occ.BlocksPerSM - 1) / occ.BlocksPerSM
+	if busySMs > c.NumSMs {
+		busySMs = c.NumSMs
+	}
+	idleShare := float64(c.NumSMs-busySMs) / float64(c.NumSMs) / float64(waves)
+	return clamp01(1 - idleShare)
+}
+
+func normalizeStalls(r *LaunchResult) {
+	sum := r.StallExec + r.StallPipe + r.StallSync + r.StallMem
+	if sum > 1 {
+		r.StallExec /= sum
+		r.StallPipe /= sum
+		r.StallSync /= sum
+		r.StallMem /= sum
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,206 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/memsim"
+)
+
+// randomSpec builds a random but valid kernel spec from a seed.
+func randomSpec(r *rand.Rand) KernelSpec {
+	var mix isa.Mix
+	mix.Add(isa.FP32, uint64(1+r.Intn(1<<22)))
+	mix.Add(isa.INT, uint64(1+r.Intn(1<<20)))
+	mix.Add(isa.LoadGlobal, uint64(1+r.Intn(1<<20)))
+	mix.Add(isa.StoreGlobal, uint64(r.Intn(1<<19)))
+	mix.Add(isa.Misc, uint64(r.Intn(1<<18)))
+	bytes := uint64(1+r.Intn(1<<16)) * 1024
+	return KernelSpec{
+		Name:  "prop",
+		Grid:  D1(1 + r.Intn(8192)),
+		Block: D1(32 * (1 + r.Intn(32))),
+		Mix:   mix,
+		Streams: []memsim.Stream{{
+			Name: "s", FootprintBytes: bytes, AccessBytes: bytes,
+			ElemBytes: 4, Pattern: memsim.Pattern(r.Intn(3)), Partitioned: r.Intn(2) == 0,
+		}},
+		DivergenceFraction: r.Float64() * 0.8,
+	}
+}
+
+// Property: results are physically sane — positive time, GIPS under peak,
+// achieved occupancy within device limits, stall ratios in range.
+func TestLaunchResultsPhysical(t *testing.T) {
+	d := dev(t)
+	cfg := d.Config()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		res, err := d.Launch(randomSpec(r))
+		if err != nil {
+			return false
+		}
+		if res.Time <= 0 || res.GIPS <= 0 {
+			return false
+		}
+		if res.GIPS > cfg.PeakGIPS()*1.0001 {
+			return false
+		}
+		if res.Occ.Achieved < 0 || res.Occ.Achieved > float64(cfg.MaxWarpsPerSM) {
+			return false
+		}
+		if res.SMEfficiency < 0 || res.SMEfficiency > 1 {
+			return false
+		}
+		sum := res.StallExec + res.StallPipe + res.StallSync + res.StallMem
+		return sum >= 0 && sum <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: determinism — the same spec always yields the identical result
+// (required for reproducible experiments).
+func TestLaunchDeterministic(t *testing.T) {
+	d := dev(t)
+	f := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		r2 := rand.New(rand.NewSource(seed))
+		a, err1 := d.Launch(randomSpec(r1))
+		b, err2 := d.Launch(randomSpec(r2))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Time == b.Time && a.GIPS == b.GIPS && a.Traffic == b.Traffic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding instructions never makes a kernel meaningfully faster.
+// The interval model's latency-hiding demand depends on the memory fraction
+// of the mix, so adding arithmetic to a latency-bound kernel can reduce the
+// modeled time slightly (a documented model simplification); the property
+// therefore bounds the artifact at 15% instead of demanding strict
+// monotonicity.
+func TestMoreWorkNeverFaster(t *testing.T) {
+	d := dev(t)
+	f := func(seed int64, extraK uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		base, err := d.Launch(spec)
+		if err != nil {
+			return false
+		}
+		spec.Mix.Add(isa.FP32, uint64(extraK)*1024+1)
+		more, err := d.Launch(spec)
+		if err != nil {
+			return false
+		}
+		return more.Time >= 0.85*base.Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding memory traffic never makes a kernel faster.
+func TestMoreTrafficNeverFaster(t *testing.T) {
+	d := dev(t)
+	f := func(seed int64, extraMB uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomSpec(r)
+		base, err := d.Launch(spec)
+		if err != nil {
+			return false
+		}
+		extra := uint64(extraMB)*(1<<20) + 4096
+		spec.Streams = append(spec.Streams, memsim.Stream{
+			Name: "extra", FootprintBytes: extra, AccessBytes: extra,
+			ElemBytes: 4, Pattern: memsim.Coalesced, Partitioned: true,
+		})
+		more, err := d.Launch(spec)
+		if err != nil {
+			return false
+		}
+		return more.Time >= base.Time-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: model-mode and trace-mode agree on traffic for a plain cold
+// coalesced sweep (the two memory-resolution paths are consistent).
+func TestStreamTraceAgreement(t *testing.T) {
+	d := dev(t)
+	for _, mb := range []int{1, 4, 16, 64} {
+		bytes := uint64(mb) << 20
+		var mix isa.Mix
+		mix.Add(isa.LoadGlobal, bytes/128)
+		mix.Add(isa.INT, bytes/128)
+		spec := KernelSpec{
+			Name: "sweep", Grid: D1(4096), Block: D1(256), Mix: mix,
+			Streams: []memsim.Stream{{
+				Name: "s", FootprintBytes: bytes, AccessBytes: bytes,
+				ElemBytes: 4, Pattern: memsim.Coalesced, Partitioned: true,
+			}},
+		}
+		modeled, err := d.Launch(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Streams = nil
+		spec.TraceCoverage = 1
+		spec.Trace = func(h *memsim.Hierarchy) {
+			for a := uint64(0); a < bytes; a += memsim.SectorBytes {
+				h.Access(a, false)
+			}
+		}
+		traced, err := d.Launch(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mT, tT := float64(modeled.Traffic.DRAMTxns), float64(traced.Traffic.DRAMTxns)
+		ratio := mT / tT
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%d MB sweep: modeled vs traced DRAM txns differ by %gx (%v vs %v)",
+				mb, ratio, modeled.Traffic.DRAMTxns, traced.Traffic.DRAMTxns)
+		}
+	}
+}
+
+// Property: trace coverage scaling is linear — half coverage doubles the
+// extrapolated traffic.
+func TestTraceCoverageScaling(t *testing.T) {
+	d := dev(t)
+	var mix isa.Mix
+	mix.Add(isa.LoadGlobal, 1<<18)
+	mk := func(cov float64) KernelSpec {
+		return KernelSpec{
+			Name: "cov", Grid: D1(512), Block: D1(256), Mix: mix,
+			TraceCoverage: cov,
+			Trace: func(h *memsim.Hierarchy) {
+				for a := uint64(0); a < 1<<20; a += 64 {
+					h.Access(a, false)
+				}
+			},
+		}
+	}
+	full, err := d.Launch(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := d.Launch(mk(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(half.Traffic.Sectors) / float64(full.Traffic.Sectors)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("coverage 0.5 scaled traffic by %gx, want 2x", ratio)
+	}
+}

@@ -1,0 +1,212 @@
+// Package graphx implements the graph-analytics substrate behind the Cactus
+// GST/GRU workloads: graph generators standing in for the paper's
+// SOC-Twitter10 social network and Road-USA road network, and a
+// Gunrock-style frontier-based BFS whose per-iteration kernel launches are
+// derived from the actual frontier the traversal produces. A bottom-up-style
+// single-kernel BFS (the Rodinia/Parboil formulation) is also provided for
+// the baseline suites and the BFS ablation.
+package graphx
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed graph in CSR form.
+type Graph struct {
+	N       int
+	Offsets []int32
+	Edges   []int32
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns vertex v's adjacency slice.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// MaxDegree returns the maximum out-degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// fromAdjacency builds a CSR graph from an adjacency list, deduplicating
+// and sorting neighbor sets.
+func fromAdjacency(adj [][]int32) *Graph {
+	n := len(adj)
+	g := &Graph{N: n, Offsets: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		nb := adj[v]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		// Dedup.
+		out := nb[:0]
+		var prev int32 = -1
+		for _, u := range nb {
+			if u != prev && int(u) != v {
+				out = append(out, u)
+				prev = u
+			}
+		}
+		g.Offsets[v] = int32(len(g.Edges))
+		g.Edges = append(g.Edges, out...)
+	}
+	g.Offsets[n] = int32(len(g.Edges))
+	return g
+}
+
+// RMAT generates a scale-free RMAT graph with 2^scale vertices and about
+// edgeFactor*2^scale undirected edges (stored in both directions) — the
+// stand-in for the paper's SOC-Twitter10 social network (21 M vertices,
+// 265 M edges; here reduced, see DESIGN.md scale substitutions). The
+// standard Graph500 partition probabilities (0.57, 0.19, 0.19, 0.05) yield
+// the heavy-tailed degree distribution that drives wide BFS frontiers.
+func RMAT(scale, edgeFactor int, seed int64) (*Graph, error) {
+	if scale < 2 || scale > 24 {
+		return nil, fmt.Errorf("graphx: RMAT scale %d out of [2,24]", scale)
+	}
+	if edgeFactor < 1 {
+		return nil, fmt.Errorf("graphx: RMAT edge factor %d", edgeFactor)
+	}
+	n := 1 << scale
+	m := n * edgeFactor
+	r := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, n)
+	const a, b, c = 0.57, 0.19, 0.19
+	for e := 0; e < m; e++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// upper-left: nothing
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		adj[u] = append(adj[u], int32(v))
+		adj[v] = append(adj[v], int32(u))
+	}
+	return fromAdjacency(adj), nil
+}
+
+// RoadGrid generates a road-network-like graph: a w x h lattice with
+// mostly 4-neighbor connectivity, a fraction of deleted edges (dead ends)
+// and occasional long-range "highway" shortcuts — the stand-in for the
+// paper's Road-USA input (23 M vertices, 28 M edges; average degree ~2.4,
+// enormous diameter). The low degree and high diameter drive BFS into many
+// iterations with tiny frontiers.
+func RoadGrid(w, h int, seed int64) (*Graph, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("graphx: road grid %dx%d too small", w, h)
+	}
+	n := w * h
+	r := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, n)
+	add := func(u, v int) {
+		adj[u] = append(adj[u], int32(v))
+		adj[v] = append(adj[v], int32(u))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := y*w + x
+			if x+1 < w && r.Float64() > 0.12 { // some missing streets
+				add(u, u+1)
+			}
+			if y+1 < h && r.Float64() > 0.12 {
+				add(u, u+w)
+			}
+		}
+	}
+	// Sparse highways: long-range shortcuts for ~0.1% of vertices.
+	for i := 0; i < n/1000; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			add(u, v)
+		}
+	}
+	return fromAdjacency(adj), nil
+}
+
+// LargestComponentVertex returns a vertex in (very likely) the largest
+// connected component: the highest-degree vertex, a standard BFS source
+// choice for benchmarking.
+func (g *Graph) LargestComponentVertex() int {
+	best, bestDeg := 0, -1
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
+// BFSResult holds a traversal's output and per-iteration statistics.
+type BFSResult struct {
+	// Depth[v] is the BFS depth of v, or -1 if unreached.
+	Depth []int32
+	// Iterations is the number of frontier expansions (graph diameter from
+	// the source).
+	Iterations int
+	// Visited is the number of reached vertices.
+	Visited int
+	// FrontierSizes[i] is the input-frontier size of iteration i.
+	FrontierSizes []int
+	// EdgesExpanded[i] is the number of edges examined in iteration i.
+	EdgesExpanded []int
+	// PullIterations counts iterations executed in bottom-up (pull) mode by
+	// the direction-optimizing traversal.
+	PullIterations int
+}
+
+// ReferenceBFS computes BFS depths with a simple sequential queue — the
+// oracle the kernel-issuing implementations are tested against.
+func ReferenceBFS(g *Graph, src int) *BFSResult {
+	depth := make([]int32, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []int32{int32(src)}
+	res := &BFSResult{Depth: depth, Visited: 1}
+	for d := int32(1); len(queue) > 0; d++ {
+		var next []int32
+		edges := 0
+		res.FrontierSizes = append(res.FrontierSizes, len(queue))
+		for _, u := range queue {
+			for _, v := range g.Neighbors(int(u)) {
+				edges++
+				if depth[v] == -1 {
+					depth[v] = d
+					next = append(next, v)
+					res.Visited++
+				}
+			}
+		}
+		res.EdgesExpanded = append(res.EdgesExpanded, edges)
+		res.Iterations++
+		queue = next
+	}
+	return res
+}

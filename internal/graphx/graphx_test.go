@@ -1,0 +1,240 @@
+package graphx
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/workloads"
+)
+
+func TestRMATProperties(t *testing.T) {
+	g, err := RMAT(12, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1<<12 {
+		t.Errorf("N = %d", g.N)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	// Heavy tail: max degree far above average.
+	avg := float64(g.NumEdges()) / float64(g.N)
+	if float64(g.MaxDegree()) < 10*avg {
+		t.Errorf("max degree %d vs avg %.1f: not heavy-tailed", g.MaxDegree(), avg)
+	}
+	// Symmetric storage: every edge has its reverse.
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			found := false
+			for _, w := range g.Neighbors(int(u)) {
+				if int(w) == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing reverse", v, u)
+			}
+		}
+	}
+	if _, err := RMAT(1, 8, 1); err == nil {
+		t.Error("tiny scale should fail")
+	}
+	if _, err := RMAT(10, 0, 1); err == nil {
+		t.Error("zero edge factor should fail")
+	}
+}
+
+func TestRoadGridProperties(t *testing.T) {
+	g, err := RoadGrid(64, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 64*64 {
+		t.Errorf("N = %d", g.N)
+	}
+	// Low max degree (lattice + rare shortcuts).
+	if g.MaxDegree() > 12 {
+		t.Errorf("road max degree = %d, want small", g.MaxDegree())
+	}
+	avg := float64(g.NumEdges()) / float64(g.N)
+	if avg < 2 || avg > 5 {
+		t.Errorf("road avg degree = %.2f, want ~3.5", avg)
+	}
+	if _, err := RoadGrid(1, 5, 1); err == nil {
+		t.Error("degenerate grid should fail")
+	}
+}
+
+func TestCSRNoSelfLoopsNoDuplicates(t *testing.T) {
+	g, err := RMAT(10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N; v++ {
+		nb := g.Neighbors(v)
+		for i, u := range nb {
+			if int(u) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+			if i > 0 && nb[i-1] >= u {
+				t.Fatalf("unsorted/duplicate adjacency at %d", v)
+			}
+		}
+	}
+}
+
+func TestReferenceBFS(t *testing.T) {
+	// A path graph 0-1-2-3: depths are 0,1,2,3.
+	g := fromAdjacency([][]int32{{1}, {0, 2}, {1, 3}, {2}})
+	res := ReferenceBFS(g, 0)
+	for v, want := range []int32{0, 1, 2, 3} {
+		if res.Depth[v] != want {
+			t.Errorf("depth[%d] = %d, want %d", v, res.Depth[v], want)
+		}
+	}
+	// Four frontier expansions: {0}, {1}, {2}, {3} (the last finds nothing).
+	if res.Iterations != 4 || res.Visited != 4 {
+		t.Errorf("iterations=%d visited=%d", res.Iterations, res.Visited)
+	}
+	if len(res.FrontierSizes) != 4 || res.FrontierSizes[0] != 1 {
+		t.Errorf("frontier sizes = %v", res.FrontierSizes)
+	}
+}
+
+func session(t *testing.T) *profiler.Session {
+	t.Helper()
+	d, err := gpu.New(gpu.RTX3080())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profiler.NewSession(d)
+}
+
+func TestGunrockBFSMatchesReference(t *testing.T) {
+	for name, build := range map[string]func() (*Graph, error){
+		"rmat": func() (*Graph, error) { return RMAT(12, 8, 7) },
+		"road": func() (*Graph, error) { return RoadGrid(48, 48, 7) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := g.LargestComponentVertex()
+		ref := ReferenceBFS(g, src)
+		for _, dirOpt := range []bool{false, true} {
+			got, err := GunrockBFS(g, src, BFSConfig{DirectionOptimized: dirOpt}, session(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Visited != ref.Visited {
+				t.Errorf("%s dirOpt=%v: visited %d, want %d", name, dirOpt, got.Visited, ref.Visited)
+			}
+			for v := range ref.Depth {
+				if got.Depth[v] != ref.Depth[v] {
+					t.Fatalf("%s dirOpt=%v: depth[%d] = %d, want %d", name, dirOpt, v, got.Depth[v], ref.Depth[v])
+				}
+			}
+		}
+	}
+}
+
+func TestGunrockBFSBadSource(t *testing.T) {
+	g, err := RoadGrid(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GunrockBFS(g, -1, BFSConfig{}, session(t)); err == nil {
+		t.Error("negative source should fail")
+	}
+	if _, err := GunrockBFS(g, g.N, BFSConfig{}, session(t)); err == nil {
+		t.Error("out-of-range source should fail")
+	}
+}
+
+func TestSocialBFSKernelSet(t *testing.T) {
+	w := SocialBFS()
+	if w.Abbr() != "GST" || w.Domain() != workloads.Graph || w.Suite() != workloads.Cactus {
+		t.Error("GST identity")
+	}
+	s := session(t)
+	if err := w.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	ks := s.Kernels()
+	names := map[string]bool{}
+	for _, k := range ks {
+		names[k.Name] = true
+	}
+	// Table I: GST executes 12 kernels.
+	if len(ks) != 12 {
+		list := make([]string, 0, len(ks))
+		for _, k := range ks {
+			list = append(list, k.Name)
+		}
+		t.Errorf("GST kernels = %d (%v), want 12", len(ks), list)
+	}
+	if !names["bottom_up_expand"] {
+		t.Error("social input must trigger the pull kernels")
+	}
+	if w.LastResult.PullIterations == 0 {
+		t.Error("direction optimizer never switched on the social graph")
+	}
+	// Social graphs have tiny diameter.
+	if w.LastResult.Iterations > 15 {
+		t.Errorf("social BFS took %d iterations, want shallow", w.LastResult.Iterations)
+	}
+	// Most of the graph must be reachable.
+	if float64(w.LastResult.Visited) < 0.5*float64(1<<17) {
+		t.Errorf("visited %d of %d vertices", w.LastResult.Visited, 1<<17)
+	}
+}
+
+func TestRoadBFSKernelSetDiffersFromSocial(t *testing.T) {
+	w := RoadBFS()
+	s := session(t)
+	if err := w.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	ks := s.Kernels()
+	names := map[string]bool{}
+	for _, k := range ks {
+		names[k.Name] = true
+	}
+	// Table I: GRU executes 8 kernels.
+	if len(ks) != 8 {
+		list := make([]string, 0, len(ks))
+		for _, k := range ks {
+			list = append(list, k.Name)
+		}
+		t.Errorf("GRU kernels = %d (%v), want 8", len(ks), list)
+	}
+	// Observation #3: the road input must NOT trigger the pull kernels.
+	if names["bottom_up_expand"] || names["bitmap_to_queue"] {
+		t.Error("road input must not trigger bottom-up kernels")
+	}
+	if w.LastResult.PullIterations != 0 {
+		t.Error("direction optimizer switched on the road graph")
+	}
+	// Road networks have enormous diameter.
+	if w.LastResult.Iterations < 100 {
+		t.Errorf("road BFS took %d iterations, want deep traversal", w.LastResult.Iterations)
+	}
+}
+
+func TestBFSConfigDefaults(t *testing.T) {
+	var c BFSConfig
+	if c.pullThreshold() != 0.05 {
+		t.Error("default pull threshold")
+	}
+	if c.maxTraceEdges() != 40960 {
+		t.Error("default trace budget")
+	}
+	c.PullThreshold = 0.2
+	c.MaxTraceEdges = 100
+	if c.pullThreshold() != 0.2 || c.maxTraceEdges() != 100 {
+		t.Error("explicit config ignored")
+	}
+}

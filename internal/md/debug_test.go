@@ -1,0 +1,24 @@
+package md
+
+import (
+	"testing"
+)
+
+// TestDebugTimeShares prints per-kernel time shares under -v; it never
+// fails. Used while calibrating the engine's kernel balance.
+func TestDebugTimeShares(t *testing.T) {
+	for _, w := range []*Workload{Gromacs(), LammpsRhodopsin(), LammpsColloid()} {
+		s := newSession(t)
+		if err := w.Run(s); err != nil {
+			t.Fatal(err)
+		}
+		total := s.TotalTime()
+		t.Logf("=== %s: %d launches, %.3f ms GPU time, %d kernels, %d Mwarp insts",
+			w.Abbr(), s.LaunchCount(), total*1e3, len(s.Kernels()), s.TotalWarpInstructions()/1e6)
+		for _, k := range s.Kernels() {
+			m := k.Metrics()
+			t.Logf("  %-36s share=%5.1f%% inv=%4d II=%8.2f GIPS=%7.2f occ=%4.1f",
+				k.Name, 100*k.TotalTime/total, k.Invocations, m[1], m[0], m[3])
+		}
+	}
+}

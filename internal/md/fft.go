@@ -1,0 +1,118 @@
+package md
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes an in-place radix-2 Cooley-Tukey FFT of x. len(x) must be a
+// power of two. inverse selects the inverse transform (with 1/n scaling).
+func FFT(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("md: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}
+
+// Grid3D is a cubic complex grid stored flat in x-major order.
+type Grid3D struct {
+	N    int
+	Data []complex128
+}
+
+// NewGrid3D allocates an n^3 grid; n must be a power of two.
+func NewGrid3D(n int) (*Grid3D, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("md: grid size %d is not a power of two", n)
+	}
+	return &Grid3D{N: n, Data: make([]complex128, n*n*n)}, nil
+}
+
+// At returns the value at (x, y, z).
+func (g *Grid3D) At(x, y, z int) complex128 {
+	return g.Data[(x*g.N+y)*g.N+z]
+}
+
+// Set assigns the value at (x, y, z).
+func (g *Grid3D) Set(x, y, z int, v complex128) {
+	g.Data[(x*g.N+y)*g.N+z] = v
+}
+
+// FFT3D transforms the grid along all three axes.
+func (g *Grid3D) FFT3D(inverse bool) error {
+	n := g.N
+	line := make([]complex128, n)
+	// z-lines are contiguous.
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			base := (x*n + y) * n
+			if err := FFT(g.Data[base:base+n], inverse); err != nil {
+				return err
+			}
+		}
+	}
+	// y-lines.
+	for x := 0; x < n; x++ {
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				line[y] = g.At(x, y, z)
+			}
+			if err := FFT(line, inverse); err != nil {
+				return err
+			}
+			for y := 0; y < n; y++ {
+				g.Set(x, y, z, line[y])
+			}
+		}
+	}
+	// x-lines.
+	for y := 0; y < n; y++ {
+		for z := 0; z < n; z++ {
+			for x := 0; x < n; x++ {
+				line[x] = g.At(x, y, z)
+			}
+			if err := FFT(line, inverse); err != nil {
+				return err
+			}
+			for x := 0; x < n; x++ {
+				g.Set(x, y, z, line[x])
+			}
+		}
+	}
+	return nil
+}

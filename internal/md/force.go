@@ -1,0 +1,130 @@
+package md
+
+import "math"
+
+// ForceStats counts the work one force evaluation actually performed; the
+// engine turns these counts into kernel instruction mixes.
+type ForceStats struct {
+	PairsEvaluated   int // pairs inside the list cutoff that were examined
+	PairsInteracting int // pairs inside the force cutoff
+	CoulombPairs     int // pairs with both charges nonzero
+	Energy           float64
+}
+
+// clearForces zeroes the force accumulators.
+func clearForces(s *System) {
+	for i := range s.Force {
+		s.Force[i] = Vec3{}
+	}
+}
+
+// ComputePairForces evaluates Lennard-Jones plus (optionally) real-space
+// Ewald Coulomb forces over the neighbor list, accumulating into s.Force.
+// Lorentz-Berthelot mixing combines per-type LJ parameters. ewaldAlpha <= 0
+// disables electrostatics (the colloid path).
+func ComputePairForces(s *System, nl *NeighborList, cutoff, ewaldAlpha float64) ForceStats {
+	var st ForceStats
+	rc2 := cutoff * cutoff
+	for i := 0; i < s.N; i++ {
+		ti := &s.Types[s.Type[i]]
+		qi := s.Charge[i]
+		for _, j32 := range nl.NeighborsOf(i) {
+			j := int(j32)
+			st.PairsEvaluated++
+			d := s.minimumImage(s.Pos[i], s.Pos[j])
+			r2 := d.Dot(d)
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			st.PairsInteracting++
+			tj := &s.Types[s.Type[j]]
+			eps := math.Sqrt(ti.Epsilon * tj.Epsilon)
+			sig := (ti.Sigma + tj.Sigma) / 2
+			sr2 := sig * sig / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			// F = 24 eps (2 sr12 - sr6) / r^2 * dvec. The magnitude is
+			// capped so overlapping initial configurations equilibrate
+			// instead of blowing up (standard soft-start practice).
+			fmag := 24 * eps * (2*sr12 - sr6) / r2
+			const fcap = 1e4
+			if fmag > fcap {
+				fmag = fcap
+			} else if fmag < -fcap {
+				fmag = -fcap
+			}
+			e := 4 * eps * (sr12 - sr6)
+			if e > fcap {
+				e = fcap
+			}
+			st.Energy += e
+
+			if ewaldAlpha > 0 {
+				qj := s.Charge[j]
+				if qi != 0 && qj != 0 {
+					st.CoulombPairs++
+					r := math.Sqrt(r2)
+					ar := ewaldAlpha * r
+					erfc := math.Erfc(ar)
+					e := qi * qj / r * erfc
+					st.Energy += e
+					fmag += (e + qi*qj*2*ewaldAlpha/math.Sqrt(math.Pi)*math.Exp(-ar*ar)) / r2
+				}
+			}
+			f := d.Scale(fmag)
+			s.Force[i] = s.Force[i].Add(f)
+			s.Force[j] = s.Force[j].Sub(f)
+		}
+	}
+	return st
+}
+
+// BondedStats counts bonded-force work.
+type BondedStats struct {
+	Bonds, Angles int
+	Energy        float64
+}
+
+// ComputeBondedForces evaluates harmonic bonds and angles.
+func ComputeBondedForces(s *System) BondedStats {
+	var st BondedStats
+	for _, b := range s.Bonds {
+		st.Bonds++
+		d := s.minimumImage(s.Pos[b.I], s.Pos[b.J])
+		r := d.Norm()
+		if r == 0 {
+			continue
+		}
+		dr := r - b.R0
+		st.Energy += 0.5 * b.K * dr * dr
+		f := d.Scale(-b.K * dr / r)
+		s.Force[b.I] = s.Force[b.I].Add(f)
+		s.Force[b.J] = s.Force[b.J].Sub(f)
+	}
+	for _, a := range s.Angles {
+		st.Angles++
+		// Harmonic angle via small-displacement force on the outer atoms.
+		rij := s.minimumImage(s.Pos[a.I], s.Pos[a.J])
+		rkj := s.minimumImage(s.Pos[a.K], s.Pos[a.J])
+		ni, nk := rij.Norm(), rkj.Norm()
+		if ni == 0 || nk == 0 {
+			continue
+		}
+		cosT := rij.Dot(rkj) / (ni * nk)
+		cosT = math.Max(-1, math.Min(1, cosT))
+		theta := math.Acos(cosT)
+		dT := theta - a.Theta0
+		st.Energy += 0.5 * a.KTheta * dT * dT
+		sinT := math.Sin(theta)
+		if math.Abs(sinT) < 1e-8 {
+			continue
+		}
+		c := -a.KTheta * dT / sinT
+		fi := rkj.Scale(1 / (ni * nk)).Sub(rij.Scale(cosT / (ni * ni))).Scale(c)
+		fk := rij.Scale(1 / (ni * nk)).Sub(rkj.Scale(cosT / (nk * nk))).Scale(c)
+		s.Force[a.I] = s.Force[a.I].Add(fi)
+		s.Force[a.K] = s.Force[a.K].Add(fk)
+		s.Force[a.J] = s.Force[a.J].Sub(fi.Add(fk))
+	}
+	return st
+}

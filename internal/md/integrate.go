@@ -1,0 +1,77 @@
+package md
+
+import "math"
+
+// Leapfrog advances velocities and positions by one step of size dt.
+func Leapfrog(s *System, dt float64) {
+	for i := 0; i < s.N; i++ {
+		s.Vel[i] = s.Vel[i].Add(s.Force[i].Scale(dt / s.Mass[i]))
+		s.Pos[i] = s.wrap(s.Pos[i].Add(s.Vel[i].Scale(dt)))
+	}
+}
+
+// BerendsenThermostat rescales velocities toward target temperature T0 with
+// coupling ratio dt/tau.
+func BerendsenThermostat(s *System, T0, dtOverTau float64) {
+	T := s.Temperature()
+	if T <= 0 {
+		return
+	}
+	lambda := math.Sqrt(1 + dtOverTau*(T0/T-1))
+	// Clamp to avoid violent rescaling on cold starts.
+	lambda = math.Max(0.8, math.Min(1.25, lambda))
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(lambda)
+	}
+}
+
+// BerendsenBarostat isotropically rescales the box and positions toward a
+// target pressure, using the virial-free ideal estimate plus the pair virial
+// approximated by energy (adequate for an equilibration workload model).
+// It returns the applied scale factor.
+func BerendsenBarostat(s *System, targetP, virial, dtOverTau float64) float64 {
+	vol := s.Box * s.Box * s.Box
+	// P = (N k T + virial/3) / V   (k_B = 1)
+	p := (float64(s.N)*s.Temperature() + virial/3) / vol
+	mu := math.Cbrt(1 - dtOverTau*(targetP-p)*0.01)
+	mu = math.Max(0.998, math.Min(1.002, mu))
+	s.Box *= mu
+	for i := range s.Pos {
+		s.Pos[i] = s.wrap(s.Pos[i].Scale(mu))
+	}
+	return mu
+}
+
+// ApplyConstraints runs a SHAKE-style iterative bond-length constraint
+// (the stand-in for Gromacs' LINCS kernel) and returns the number of
+// bond-correction iterations actually performed.
+func ApplyConstraints(s *System, tol float64, maxIter int) int {
+	if len(s.Bonds) == 0 {
+		return 0
+	}
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		worst := 0.0
+		for _, b := range s.Bonds {
+			d := s.minimumImage(s.Pos[b.I], s.Pos[b.J])
+			r := d.Norm()
+			if r == 0 {
+				continue
+			}
+			diff := (r - b.R0) / b.R0
+			if math.Abs(diff) > worst {
+				worst = math.Abs(diff)
+			}
+			// Move both atoms toward the constraint, mass-weighted.
+			mi, mj := s.Mass[b.I], s.Mass[b.J]
+			corr := d.Scale((b.R0 - r) / r / (mi + mj))
+			s.Pos[b.I] = s.wrap(s.Pos[b.I].Add(corr.Scale(mj)))
+			s.Pos[b.J] = s.wrap(s.Pos[b.J].Sub(corr.Scale(mi)))
+		}
+		iters++
+		if worst < tol {
+			break
+		}
+	}
+	return iters
+}

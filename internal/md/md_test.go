@@ -1,0 +1,541 @@
+package md
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/workloads"
+)
+
+func TestVec3Ops(t *testing.T) {
+	a, b := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) {
+		t.Error("Add")
+	}
+	if b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Error("Sub")
+	}
+	if a.Dot(b) != 32 {
+		t.Error("Dot")
+	}
+	if (Vec3{3, 4, 0}).Norm() != 5 {
+		t.Error("Norm")
+	}
+	if a.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Error("Scale")
+	}
+}
+
+func TestNewSolvatedProtein(t *testing.T) {
+	s, err := NewSolvatedProtein(50, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 250 {
+		t.Errorf("N = %d", s.N)
+	}
+	if len(s.Bonds) != 49 || len(s.Angles) != 48 {
+		t.Errorf("topology: %d bonds %d angles", len(s.Bonds), len(s.Angles))
+	}
+	// All positions inside the box.
+	for i, p := range s.Pos {
+		for k := 0; k < 3; k++ {
+			if p[k] < 0 || p[k] >= s.Box {
+				t.Fatalf("particle %d outside box: %v", i, p)
+			}
+		}
+	}
+	// Momentum zeroed.
+	if s.Momentum().Norm() > 1e-9 {
+		t.Errorf("initial momentum = %v", s.Momentum())
+	}
+	// Charges present (electrostatics path must fire).
+	charged := 0
+	for _, q := range s.Charge {
+		if q != 0 {
+			charged++
+		}
+	}
+	if charged == 0 {
+		t.Error("no charges in solvated protein")
+	}
+	if _, err := NewSolvatedProtein(2, 0, 1); err == nil {
+		t.Error("too-small protein should fail")
+	}
+}
+
+func TestNewColloid(t *testing.T) {
+	s, err := NewColloid(8, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 108 {
+		t.Errorf("N = %d", s.N)
+	}
+	if len(s.Bonds) != 0 {
+		t.Error("colloid has no bonds")
+	}
+	for _, q := range s.Charge {
+		if q != 0 {
+			t.Fatal("colloid must be uncharged")
+		}
+	}
+	if _, err := NewColloid(0, 10, 1); err == nil {
+		t.Error("zero colloids should fail")
+	}
+}
+
+func TestNeighborListFindsAllPairs(t *testing.T) {
+	s, err := NewSolvatedProtein(20, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff, skin := 2.0, 0.3
+	nl, err := BuildNeighborList(s, cutoff, skin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force reference.
+	rc2 := (cutoff + skin) * (cutoff + skin)
+	want := 0
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			d := s.minimumImage(s.Pos[i], s.Pos[j])
+			if d.Dot(d) < rc2 {
+				want++
+			}
+		}
+	}
+	if nl.Pairs() != want {
+		t.Errorf("neighbor list has %d pairs, brute force %d", nl.Pairs(), want)
+	}
+	// Half list: no pair (i, j<=i).
+	for i := 0; i < s.N; i++ {
+		for _, j := range nl.NeighborsOf(i) {
+			if int(j) <= i {
+				t.Fatalf("half-list violation: %d -> %d", i, j)
+			}
+		}
+	}
+}
+
+func TestCellListErrors(t *testing.T) {
+	s, _ := NewColloid(1, 10, 1)
+	if _, err := BuildCellList(s, 0); err == nil {
+		t.Error("zero cell size should fail")
+	}
+}
+
+func TestPairForcesNewtonThirdLaw(t *testing.T) {
+	s, err := NewSolvatedProtein(30, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := BuildNeighborList(s, 2.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clearForces(s)
+	st := ComputePairForces(s, nl, 2.5, 0.9)
+	if st.PairsInteracting == 0 {
+		t.Fatal("no interacting pairs")
+	}
+	if st.CoulombPairs == 0 {
+		t.Fatal("no coulomb pairs despite charges")
+	}
+	var net Vec3
+	for _, f := range s.Force {
+		net = net.Add(f)
+	}
+	if net.Norm() > 1e-8 {
+		t.Errorf("net pair force = %v, want ~0 (Newton's third law)", net)
+	}
+}
+
+func TestEnergyConservationNVE(t *testing.T) {
+	// After equilibrating away initial overlaps, a short NVE run (no
+	// thermostat) should roughly conserve kinetic + potential energy.
+	s, err := NewColloid(4, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := 2.5
+	dt := 0.0005
+	stepOnce := func(thermostat bool) {
+		nl, err := BuildNeighborList(s, cutoff, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clearForces(s)
+		ComputePairForces(s, nl, cutoff, 0)
+		Leapfrog(s, dt)
+		if thermostat {
+			BerendsenThermostat(s, 1.0, 0.2)
+		}
+	}
+	for step := 0; step < 400; step++ { // equilibration: bleed off overlaps
+		stepOnce(true)
+	}
+	energy := func() float64 {
+		nl, err := BuildNeighborList(s, cutoff, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clearForces(s)
+		st := ComputePairForces(s, nl, cutoff, 0)
+		return st.Energy + s.KineticEnergy()
+	}
+	e0 := energy()
+	for step := 0; step < 200; step++ {
+		stepOnce(false)
+	}
+	e1 := energy()
+	drift := math.Abs(e1-e0) / math.Max(100, math.Abs(e0))
+	if drift > 0.2 {
+		t.Errorf("energy drift %.1f%% over 200 NVE steps (E %g -> %g)", drift*100, e0, e1)
+	}
+}
+
+func TestThermostatDrivesTemperature(t *testing.T) {
+	s, err := NewColloid(4, 300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heat the system to T=4 and let the thermostat pull it to 1.
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(2)
+	}
+	for step := 0; step < 200; step++ {
+		BerendsenThermostat(s, 1.0, 0.1)
+	}
+	if T := s.Temperature(); math.Abs(T-1.0) > 0.15 {
+		t.Errorf("temperature after thermostatting = %g, want ~1", T)
+	}
+}
+
+func TestBarostatMovesBox(t *testing.T) {
+	s, err := NewColloid(4, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box0 := s.Box
+	for i := 0; i < 50; i++ {
+		BerendsenBarostat(s, 1.0, 0, 0.05)
+	}
+	if s.Box == box0 {
+		t.Error("barostat never adjusted the box")
+	}
+	for _, p := range s.Pos {
+		for k := 0; k < 3; k++ {
+			if p[k] < 0 || p[k] >= s.Box {
+				t.Fatal("positions left the box after barostat rescale")
+			}
+		}
+	}
+}
+
+func TestConstraintsRestoreBondLengths(t *testing.T) {
+	s, err := NewSolvatedProtein(20, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb positions.
+	for i := range s.Pos {
+		s.Pos[i] = s.wrap(s.Pos[i].Add(Vec3{0.1 * float64(i%3), -0.05, 0.07}))
+	}
+	iters := ApplyConstraints(s, 1e-3, 50)
+	if iters == 0 {
+		t.Fatal("constraints did not run")
+	}
+	for _, b := range s.Bonds {
+		r := s.minimumImage(s.Pos[b.I], s.Pos[b.J]).Norm()
+		if math.Abs(r-b.R0)/b.R0 > 5e-3 {
+			t.Errorf("bond %d-%d length %g, want %g", b.I, b.J, r, b.R0)
+		}
+	}
+}
+
+func TestFFTRoundTripAndParseval(t *testing.T) {
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)*0.3), math.Cos(float64(i)*0.11))
+	}
+	orig := append([]complex128(nil), x...)
+	var t0 float64
+	for _, v := range orig {
+		t0 += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if err := FFT(x, false); err != nil {
+		t.Fatal(err)
+	}
+	// Parseval: sum |X|^2 = n * sum |x|^2.
+	var t1 float64
+	for _, v := range x {
+		t1 += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(t1-64*t0) > 1e-6*t1 {
+		t.Errorf("Parseval violated: %g vs %g", t1, 64*t0)
+	}
+	if err := FFT(x, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+	if err := FFT(make([]complex128, 3), false); err == nil {
+		t.Error("non-power-of-two length should fail")
+	}
+}
+
+func TestFFTKnownSpectrum(t *testing.T) {
+	// A pure cosine at bin 3 should produce spikes at bins 3 and n-3.
+	n := 32
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*3*float64(i)/float64(n)), 0)
+	}
+	if err := FFT(x, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mag := cmplx.Abs(x[i])
+		if i == 3 || i == n-3 {
+			if math.Abs(mag-16) > 1e-9 {
+				t.Errorf("bin %d magnitude %g, want 16", i, mag)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d magnitude %g, want 0", i, mag)
+		}
+	}
+}
+
+func TestFFT3DRoundTrip(t *testing.T) {
+	g, err := NewGrid3D(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		g.Data[i] = complex(float64(i%7), float64(i%3))
+	}
+	orig := append([]complex128(nil), g.Data...)
+	if err := g.FFT3D(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FFT3D(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("3D round trip failed at %d", i)
+		}
+	}
+	if _, err := NewGrid3D(10); err == nil {
+		t.Error("non-power-of-two grid should fail")
+	}
+}
+
+func TestPMEChargeConservationInSpread(t *testing.T) {
+	s, err := NewSolvatedProtein(40, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPME(16, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := p.Spread(s)
+	if updates == 0 {
+		t.Fatal("spread performed no updates")
+	}
+	// Total grid charge equals total particle charge.
+	var gridQ, partQ float64
+	for _, v := range p.grid.Data {
+		gridQ += real(v)
+	}
+	for _, q := range s.Charge {
+		partQ += q
+	}
+	if math.Abs(gridQ-partQ) > 1e-9 {
+		t.Errorf("grid charge %g != particle charge %g", gridQ, partQ)
+	}
+	// Solve produces a finite, nonnegative reciprocal energy.
+	e, err := p.Solve(s.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0 || math.IsNaN(e) {
+		t.Errorf("reciprocal energy = %g", e)
+	}
+	if reads := p.Gather(s); reads == 0 {
+		t.Error("gather read nothing")
+	}
+	if _, err := NewPME(16, 0); err == nil {
+		t.Error("zero alpha should fail")
+	}
+}
+
+func newSession(t *testing.T) *profiler.Session {
+	t.Helper()
+	d, err := gpu.New(gpu.RTX3080())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profiler.NewSession(d)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Gromacs().Config()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Steps = 0 },
+		func(c *Config) { c.DT = 0 },
+		func(c *Config) { c.Cutoff = -1 },
+		func(c *Config) { c.Skin = -0.1 },
+		func(c *Config) { c.Replication = 0.5 },
+		func(c *Config) { c.RebuildEvery = 0 },
+	} {
+		c := good
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Error("invalid config accepted")
+		}
+	}
+}
+
+func TestGromacsWorkloadKernelSet(t *testing.T) {
+	w := Gromacs()
+	if w.Abbr() != "GMS" || w.Suite() != workloads.Cactus || w.Domain() != workloads.Molecular {
+		t.Error("GMS identity")
+	}
+	s := newSession(t)
+	if err := w.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	ks := s.Kernels()
+	// Table I: GMS executes 9 kernels.
+	if len(ks) != 9 {
+		names := make([]string, len(ks))
+		for i, k := range ks {
+			names[i] = k.Name
+		}
+		t.Errorf("GMS kernels = %d (%v), want 9", len(ks), names)
+	}
+	// The nonbonded kernel must be the dominant one.
+	if ks[0].Name != "nbnxn_kernel_ElecEwald_VdwLJ_F" {
+		t.Errorf("dominant kernel = %s", ks[0].Name)
+	}
+}
+
+func TestLammpsRhodopsinKernelSet(t *testing.T) {
+	s := newSession(t)
+	if err := LammpsRhodopsin().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	ks := s.Kernels()
+	// Table I: LMR executes 15 kernels.
+	if len(ks) != 15 {
+		names := make([]string, len(ks))
+		for i, k := range ks {
+			names[i] = k.Name
+		}
+		t.Errorf("LMR kernels = %d (%v), want 15", len(ks), names)
+	}
+	if ks[0].Name != "pair_lj_charmm_coul_long" {
+		t.Errorf("dominant kernel = %s", ks[0].Name)
+	}
+}
+
+func TestLammpsColloidKernelSetDiffersFromRhodopsin(t *testing.T) {
+	s := newSession(t)
+	if err := LammpsColloid().Run(s); err != nil {
+		t.Fatal(err)
+	}
+	ks := s.Kernels()
+	// Table I: LMC executes 9 kernels.
+	if len(ks) != 9 {
+		names := make([]string, len(ks))
+		for i, k := range ks {
+			names[i] = k.Name
+		}
+		t.Errorf("LMC kernels = %d (%v), want 9", len(ks), names)
+	}
+	names := map[string]bool{}
+	for _, k := range ks {
+		names[k.Name] = true
+	}
+	// Observation #3: same code base, different input, different kernels.
+	if !names["pair_colloid"] {
+		t.Error("colloid input must trigger pair_colloid")
+	}
+	if names["pair_lj_charmm_coul_long"] || names["pppm_spread_charges"] {
+		t.Error("colloid input must not trigger the electrostatics kernels")
+	}
+}
+
+// TestDominantKernelCharacters pins the Figure 6c observations: the
+// molecular workloads mix compute- and memory-intensive kernels among
+// their dominant sets.
+func TestDominantKernelCharacters(t *testing.T) {
+	const elbow = 21.76
+	for _, tc := range []struct {
+		w       *Workload
+		wantCmp string // a dominant kernel expected on the compute side
+	}{
+		{Gromacs(), "nbnxn_kernel_ElecEwald_VdwLJ_F"},
+		{LammpsRhodopsin(), "pair_lj_charmm_coul_long"},
+		{LammpsColloid(), "pair_colloid"},
+	} {
+		s := newSession(t)
+		if err := tc.w.Run(s); err != nil {
+			t.Fatal(err)
+		}
+		total := s.TotalTime()
+		var sawCmp, sawMem bool
+		cum := 0.0
+		for _, k := range s.Kernels() {
+			cum += k.TotalTime / total
+			ii := k.Metrics()[1] // InstIntensity
+			if k.Name == tc.wantCmp {
+				if ii < elbow {
+					t.Errorf("%s: %s II=%.1f, want compute-intensive", tc.w.Abbr(), k.Name, ii)
+				}
+				sawCmp = true
+			} else if ii < elbow {
+				sawMem = true
+			}
+			if cum >= 0.9 {
+				break
+			}
+		}
+		if !sawCmp || !sawMem {
+			t.Errorf("%s: dominant set not mixed (cmp=%v mem=%v)", tc.w.Abbr(), sawCmp, sawMem)
+		}
+	}
+}
+
+func TestEngineRebuildsNeighborList(t *testing.T) {
+	s := newSession(t)
+	sys, err := NewColloid(8, 300, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LammpsColloid().Config()
+	cfg.Steps = 20
+	eng, err := NewEngine(cfg, sys, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Rebuilds < 2 {
+		t.Errorf("rebuilds = %d, want >= 2 over 20 steps", eng.Rebuilds)
+	}
+}

@@ -1,0 +1,287 @@
+// Package memsim models the GPU memory hierarchy. It provides two
+// complementary resolution paths for a kernel's global-memory traffic:
+//
+//   - a sectored set-associative cache simulator (Cache, Hierarchy) that
+//     replays address traces, used for kernels whose locality is
+//     data-dependent (graph gathers, neighbor-list walks);
+//   - an analytical locality model (stream.go) that derives hit rates from a
+//     declarative description of access streams, used for dense/regular
+//     kernels (GEMM tiles, elementwise, stencils).
+//
+// Both paths produce the same outcome type (Traffic): sector-granular counts
+// of accesses, L1 hits, L2 hits, and DRAM transactions. Ampere-style
+// geometry is used throughout: 128-byte cache lines split into four 32-byte
+// sectors; DRAM transactions are 32-byte sectors, matching the paper's
+// 23.76 GTXN/s peak-bandwidth derivation.
+package memsim
+
+import (
+	"fmt"
+)
+
+// Geometry constants shared by the hierarchy.
+const (
+	// LineBytes is the cache-line size.
+	LineBytes = 128
+	// SectorBytes is the sector (and DRAM transaction) size.
+	SectorBytes = 32
+	// SectorsPerLine is the number of sectors per line.
+	SectorsPerLine = LineBytes / SectorBytes
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name       string // e.g. "L1", "L2"
+	SizeBytes  int    // total capacity
+	Assoc      int    // ways per set
+	Sectored   bool   // if true, fills are sector-granular within a line
+	WriteAlloc bool   // if true, stores allocate lines (write-allocate)
+}
+
+// Validate reports configuration errors.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 {
+		return fmt.Errorf("memsim: %s: non-positive size %d", c.Name, c.SizeBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("memsim: %s: non-positive associativity %d", c.Name, c.Assoc)
+	}
+	if c.SizeBytes%(LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("memsim: %s: size %d not divisible by line*assoc=%d",
+			c.Name, c.SizeBytes, LineBytes*c.Assoc)
+	}
+	return nil
+}
+
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	sectors uint8 // bitmask of present sectors (sectored caches)
+	lastUse uint64
+}
+
+// Cache is a set-associative, optionally sectored cache with LRU
+// replacement. It is not safe for concurrent use.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	setMask  uint64
+	tick     uint64
+	accesses uint64
+	hits     uint64
+}
+
+// NewCache builds a cache from cfg. It panics on invalid configuration:
+// cache geometry is program-defined, so a bad value is a programming error.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.SizeBytes / (LineBytes * cfg.Assoc)
+	if nSets&(nSets-1) != 0 {
+		// Round down to a power of two so the set index is a mask. The
+		// capacity difference is irrelevant at the fidelity of this model.
+		p := 1
+		for p*2 <= nSets {
+			p *= 2
+		}
+		nSets = p
+	}
+	sets := make([][]cacheLine, nSets)
+	backing := make([]cacheLine, nSets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nSets - 1)}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access performs one sector-granular access at byte address addr.
+// isStore distinguishes stores (which may or may not allocate).
+// It returns true on a hit.
+func (c *Cache) Access(addr uint64, isStore bool) bool {
+	c.tick++
+	c.accesses++
+	lineAddr := addr / LineBytes
+	sector := uint8(1) << ((addr / SectorBytes) % SectorsPerLine)
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> 1 // low bit folded into set index already; tag keeps full line addr
+	tag = lineAddr
+
+	// Probe.
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.tick
+			if !c.cfg.Sectored || l.sectors&sector != 0 {
+				c.hits++
+				return true
+			}
+			// Line present but sector missing: sector miss fills the sector.
+			l.sectors |= sector
+			return false
+		}
+	}
+	// Miss. Stores bypass allocation when write-allocate is off.
+	if isStore && !c.cfg.WriteAlloc {
+		return false
+	}
+	// Fill into LRU victim.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, lastUse: c.tick}
+	if c.cfg.Sectored {
+		set[victim].sectors = sector
+	} else {
+		set[victim].sectors = (1 << SectorsPerLine) - 1
+	}
+	return false
+}
+
+// Stats returns (accesses, hits) since construction or the last Reset.
+func (c *Cache) Stats() (accesses, hits uint64) { return c.accesses, c.hits }
+
+// HitRate returns the hit fraction, or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+	c.tick, c.accesses, c.hits = 0, 0, 0
+}
+
+// Traffic summarizes resolved global-memory traffic for one kernel launch,
+// in 32-byte sector units.
+type Traffic struct {
+	Sectors     uint64 // total sector accesses issued to L1
+	L1Hits      uint64
+	L2Hits      uint64
+	DRAMTxns    uint64 // sectors served by DRAM (reads + writes)
+	DRAMReadTx  uint64
+	DRAMWriteTx uint64
+}
+
+// Add accumulates other into t.
+func (t *Traffic) Add(o Traffic) {
+	t.Sectors += o.Sectors
+	t.L1Hits += o.L1Hits
+	t.L2Hits += o.L2Hits
+	t.DRAMTxns += o.DRAMTxns
+	t.DRAMReadTx += o.DRAMReadTx
+	t.DRAMWriteTx += o.DRAMWriteTx
+}
+
+// L1HitRate returns the fraction of sector accesses hitting in L1.
+func (t Traffic) L1HitRate() float64 {
+	if t.Sectors == 0 {
+		return 0
+	}
+	return float64(t.L1Hits) / float64(t.Sectors)
+}
+
+// L2HitRate returns the fraction of L1 misses hitting in L2.
+func (t Traffic) L2HitRate() float64 {
+	misses := t.Sectors - t.L1Hits
+	if misses == 0 {
+		return 0
+	}
+	return float64(t.L2Hits) / float64(misses)
+}
+
+// Scale returns traffic scaled by f (e.g. to extrapolate a sampled trace to
+// the full grid).
+func (t Traffic) Scale(f float64) Traffic {
+	s := func(v uint64) uint64 { return uint64(float64(v)*f + 0.5) }
+	return Traffic{
+		Sectors:     s(t.Sectors),
+		L1Hits:      s(t.L1Hits),
+		L2Hits:      s(t.L2Hits),
+		DRAMTxns:    s(t.DRAMTxns),
+		DRAMReadTx:  s(t.DRAMReadTx),
+		DRAMWriteTx: s(t.DRAMWriteTx),
+	}
+}
+
+// Hierarchy couples a per-SM L1 with a device-wide L2 and replays accesses.
+// The single L1 instance stands in for one SM's L1; callers replay a sampled
+// subset of warps, which is equivalent to tracing one SM's share of the grid.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+	t  Traffic
+}
+
+// NewHierarchy builds an L1+L2 hierarchy.
+func NewHierarchy(l1, l2 CacheConfig) *Hierarchy {
+	return &Hierarchy{L1: NewCache(l1), L2: NewCache(l2)}
+}
+
+// Access resolves one sector access through L1 then L2, updating traffic.
+func (h *Hierarchy) Access(addr uint64, isStore bool) {
+	h.t.Sectors++
+	if h.L1.Access(addr, isStore) {
+		h.t.L1Hits++
+		return
+	}
+	if h.L2.Access(addr, isStore) {
+		h.t.L2Hits++
+		return
+	}
+	h.t.DRAMTxns++
+	if isStore {
+		h.t.DRAMWriteTx++
+	} else {
+		h.t.DRAMReadTx++
+	}
+}
+
+// AccessWarp issues one coalesced warp access: 32 lanes reading elemBytes
+// each from base with the given lane stride (in bytes). Coalescing collapses
+// lanes falling in the same sector into one access, exactly like the
+// hardware's coalescing stage.
+func (h *Hierarchy) AccessWarp(base uint64, laneStrideBytes, elemBytes int, isStore bool) {
+	if laneStrideBytes <= 0 {
+		laneStrideBytes = elemBytes
+	}
+	seen := make(map[uint64]struct{}, 8)
+	for lane := 0; lane < 32; lane++ {
+		a := base + uint64(lane*laneStrideBytes)
+		for b := 0; b < elemBytes; b += SectorBytes {
+			sec := (a + uint64(b)) / SectorBytes
+			if _, ok := seen[sec]; ok {
+				continue
+			}
+			seen[sec] = struct{}{}
+			h.Access(sec*SectorBytes, isStore)
+		}
+	}
+}
+
+// Traffic returns accumulated traffic.
+func (h *Hierarchy) Traffic() Traffic { return h.t }
+
+// Reset clears caches and traffic.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.t = Traffic{}
+}

@@ -1,0 +1,207 @@
+package mlapps
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// generator is the DCGAN generator: z (B, zdim, 1, 1) -> image (B, 3, 32, 32)
+// through a stack of transposed convolutions with batch norm and ReLU.
+type generator struct {
+	deconvs []*nn.ConvTranspose2d
+	bns     []*nn.BatchNorm2d
+}
+
+func newGenerator(d *nn.Device, zdim, base int) *generator {
+	g := &generator{}
+	// zdim x1x1 -> base*4 x4x4 -> base*2 x8x8 -> base x16x16 -> 3 x32x32
+	g.deconvs = append(g.deconvs,
+		nn.NewConvTranspose2d(d, zdim, base*4, 4, 1, 0),
+		nn.NewConvTranspose2d(d, base*4, base*2, 4, 2, 1),
+		nn.NewConvTranspose2d(d, base*2, base, 4, 2, 1),
+		nn.NewConvTranspose2d(d, base, 3, 4, 2, 1),
+	)
+	g.bns = append(g.bns,
+		nn.NewBatchNorm2d(d, base*4),
+		nn.NewBatchNorm2d(d, base*2),
+		nn.NewBatchNorm2d(d, base),
+	)
+	return g
+}
+
+func (g *generator) forward(z *nn.V) (*nn.V, error) {
+	x := z
+	var err error
+	for i, dc := range g.deconvs {
+		x, err = dc.Forward(x)
+		if err != nil {
+			return nil, err
+		}
+		if i < len(g.bns) {
+			x, err = g.bns[i].Forward(x)
+			if err != nil {
+				return nil, err
+			}
+			x = nn.ReLU(x)
+		}
+	}
+	return nn.Tanh(x), nil
+}
+
+func (g *generator) params() []*nn.V {
+	var ps []*nn.V
+	for _, l := range g.deconvs {
+		ps = append(ps, l.Params()...)
+	}
+	for _, l := range g.bns {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// discriminator maps images (B, 3, 32, 32) to realness logits (B, 1).
+type discriminator struct {
+	convs []*nn.Conv2d
+	bns   []*nn.BatchNorm2d
+}
+
+func newDiscriminator(d *nn.Device, base int) *discriminator {
+	disc := &discriminator{}
+	disc.convs = append(disc.convs,
+		nn.NewConv2d(d, 3, base, 4, 2, 1),      // 16x16
+		nn.NewConv2d(d, base, base*2, 4, 2, 1), // 8x8
+		nn.NewConv2d(d, base*2, base*4, 4, 2, 1),
+		nn.NewConv2d(d, base*4, 1, 4, 1, 0), // 1x1 logit
+	)
+	disc.bns = append(disc.bns,
+		nn.NewBatchNorm2d(d, base*2),
+		nn.NewBatchNorm2d(d, base*4),
+	)
+	return disc
+}
+
+func (disc *discriminator) forward(x *nn.V) (*nn.V, error) {
+	var err error
+	for i, cv := range disc.convs {
+		x, err = cv.Forward(x)
+		if err != nil {
+			return nil, err
+		}
+		if i == len(disc.convs)-1 {
+			break
+		}
+		if i >= 1 {
+			x, err = disc.bns[i-1].Forward(x)
+			if err != nil {
+				return nil, err
+			}
+		}
+		x = nn.LeakyReLU(x, 0.2)
+	}
+	return nn.Reshape(x, x.T.Shape[0], 1)
+}
+
+func (disc *discriminator) params() []*nn.V {
+	var ps []*nn.V
+	for _, l := range disc.convs {
+		ps = append(ps, l.Params()...)
+	}
+	for _, l := range disc.bns {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// DCGAN returns DCG: adversarial training of a deep-convolutional GAN on
+// procedural face images (the Celeb-A stand-in).
+func DCGAN() *Workload {
+	return &Workload{
+		name:        "DCGAN training (Celeb-A)",
+		abbr:        "DCG",
+		replication: 384, // batch 8 @32x32 tile of batch 128 @64x64 training
+		seed:        11,
+		train: func(d *nn.Device) error {
+			const (
+				batch = 8
+				zdim  = 32
+				ngf   = 16 // generator feature width
+				ndf   = 24 // discriminator feature width
+				iters = 6
+			)
+			g := newGenerator(d, zdim, ngf)
+			disc := newDiscriminator(d, ndf)
+			optG := nn.NewAdam(d, g.params(), 2e-4, 0.5)
+			optD := nn.NewAdam(d, disc.params(), 2e-4, 0.5)
+			ones := tensor.Full(1, batch, 1)
+			zeros := tensor.New(batch, 1)
+
+			sampleZ := func() *nn.V {
+				// z ~ N(0,1): the curand sampling kernel.
+				z := tensor.Randn(d.RNG, 1, batch, zdim, 1, 1)
+				d.EmitNamed("curand_normal_z", z.Numel(), 4, 0, 1)
+				return d.Const(z)
+			}
+			for it := 0; it < iters; it++ {
+				// --- Discriminator step: real batch + fake batch -----------
+				real := faceBatch(d.RNG, batch, 32)
+				// Data-loading pipeline: decode, resize, flip, normalize.
+				d.EmitNamed("image_resize_bilinear", real.Numel(), 6, 1, 1)
+				d.EmitNamed("random_horizontal_flip", real.Numel(), 1, 1, 1)
+				d.EmitNamed("normalize_images", real.Numel(), 3, 1, 1)
+				dReal, err := disc.forward(d.Const(real))
+				if err != nil {
+					return err
+				}
+				lossReal, err := nn.BCEWithLogits(dReal, ones)
+				if err != nil {
+					return err
+				}
+				fake, err := g.forward(sampleZ())
+				if err != nil {
+					return err
+				}
+				dFake, err := disc.forward(fake.Detach())
+				if err != nil {
+					return err
+				}
+				lossFake, err := nn.BCEWithLogits(dFake, zeros)
+				if err != nil {
+					return err
+				}
+				lossD, err := nn.Add(lossReal, lossFake, 0.5, 0.5)
+				if err != nil {
+					return err
+				}
+				if err := lossD.Backward(); err != nil {
+					return err
+				}
+				optD.Step()
+
+				// --- Generator step ----------------------------------------
+				fake, err = g.forward(sampleZ())
+				if err != nil {
+					return err
+				}
+				dOut, err := disc.forward(fake)
+				if err != nil {
+					return err
+				}
+				lossG, err := nn.BCEWithLogits(dOut, ones)
+				if err != nil {
+					return err
+				}
+				if err := lossG.Backward(); err != nil {
+					return err
+				}
+				optG.Step()
+
+				if lossG.T.Data[0] < 0 || lossD.T.Data[0] < 0 {
+					return fmt.Errorf("mlapps: negative BCE loss")
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,55 @@
+package mlapps
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+)
+
+func newSession(t *testing.T) *profiler.Session {
+	t.Helper()
+	d, err := gpu.New(gpu.RTX3080())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profiler.NewSession(d)
+}
+
+// TestDebugTimeShares prints per-kernel shares under -v; never fails.
+func TestDebugTimeShares(t *testing.T) {
+	for _, w := range []*Workload{DCGAN(), NeuralStyle(), ReinforcementLearning(), SpatialTransformer(), LanguageTranslation()} {
+		s := newSession(t)
+		if err := w.Run(s); err != nil {
+			t.Fatal(err)
+		}
+		total := s.TotalTime()
+		agg := float64(s.TotalWarpInstructions())
+		var txns uint64
+		for _, l := range s.Launches() {
+			txns += l.Traffic.DRAMTxns
+		}
+		ks := s.Kernels()
+		// Kernels to reach 70%.
+		cum, k70 := 0.0, 0
+		for _, k := range ks {
+			cum += k.TotalTime / total
+			k70++
+			if cum >= 0.7 {
+				break
+			}
+		}
+		t.Logf("=== %s: %d launches, %.3f ms, %d kernels (%d @70%%), %d Mwarps, agg II=%.2f agg GIPS=%.2f",
+			w.Abbr(), s.LaunchCount(), total*1e3, len(ks), k70,
+			s.TotalWarpInstructions()/1e6, agg/float64(txns+1), agg/total/1e9)
+		for i, k := range ks {
+			if i >= 15 {
+				t.Logf("  ... and %d more", len(ks)-15)
+				break
+			}
+			m := k.Metrics()
+			t.Logf("  %-44s share=%5.1f%% inv=%4d II=%8.2f GIPS=%7.2f",
+				k.Name, 100*k.TotalTime/total, k.Invocations, m[1], m[0])
+		}
+	}
+}

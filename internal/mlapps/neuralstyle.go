@@ -1,0 +1,169 @@
+package mlapps
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// vggLite is a frozen VGG-style feature extractor; only the input image is
+// optimized, as in Gatys-style neural style transfer.
+type vggLite struct {
+	convs   []*nn.Conv2d
+	poolAt  map[int]bool
+	styleAt map[int]bool // tap for style (Gram) losses
+	content int          // tap for the content loss
+}
+
+func newVGGLite(d *nn.Device) *vggLite {
+	v := &vggLite{
+		poolAt:  map[int]bool{1: true, 3: true, 5: true},
+		styleAt: map[int]bool{0: true, 2: true, 4: true, 6: true},
+		content: 5,
+	}
+	chans := []struct{ in, out int }{
+		{3, 16}, {16, 16}, // block 1
+		{16, 32}, {32, 32}, // block 2
+		{32, 64}, {64, 64}, // block 3
+		{64, 128}, // block 4
+	}
+	for _, c := range chans {
+		layer := nn.NewConv2d(d, c.in, c.out, 3, 1, 1)
+		// Freeze: re-wrap the weights as constants so no wgrad kernels run,
+		// exactly like .requires_grad_(False) on a pretrained extractor.
+		layer.W = d.Const(layer.W.T)
+		layer.B = d.Const(layer.B.T)
+		v.convs = append(v.convs, layer)
+	}
+	return v
+}
+
+// features runs the extractor, returning the style taps and content tap.
+func (v *vggLite) features(x *nn.V) (style []*nn.V, content *nn.V, err error) {
+	for i, cv := range v.convs {
+		x, err = cv.Forward(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		x = nn.ReLU(x)
+		if v.styleAt[i] {
+			style = append(style, x)
+		}
+		if i == v.content {
+			content = x
+		}
+		if v.poolAt[i] {
+			x, err = nn.MaxPool(x, 2, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return style, content, nil
+}
+
+// gram computes the Gram matrix of a (B, C, H, W) feature tap.
+func gram(x *nn.V) (*nn.V, error) {
+	c := x.T.Shape[1]
+	hw := x.T.Shape[2] * x.T.Shape[3]
+	f, err := nn.Reshape(x, c, hw)
+	if err != nil {
+		return nil, err
+	}
+	g, err := nn.MatMul(f, f, false, true)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// NeuralStyle returns NST: optimizing an image so its VGG features match a
+// content image and its Gram statistics match a style image.
+func NeuralStyle() *Workload {
+	return &Workload{
+		name:        "Neural Style transfer training",
+		abbr:        "NST",
+		replication: 64, // 64x64 tile of the 512x512 optimization
+		seed:        22,
+		train: func(d *nn.Device) error {
+			const size = 32
+			const iters = 8
+			vgg := newVGGLite(d)
+			content := artImage(d.RNG, size, false)
+			style := artImage(d.RNG, size, true)
+			d.EmitNamed("normalize_images", content.Numel()+style.Numel(), 3, 1, 1)
+
+			// Precompute targets (no gradients).
+			styleTaps, _, err := vgg.features(d.Const(style))
+			if err != nil {
+				return err
+			}
+			var styleTargets []*tensor.Tensor
+			for _, tap := range styleTaps {
+				g, err := gram(tap)
+				if err != nil {
+					return err
+				}
+				styleTargets = append(styleTargets, g.T.Clone())
+			}
+			_, contentTarget, err := vgg.features(d.Const(content))
+			if err != nil {
+				return err
+			}
+			contentRef := contentTarget.T.Clone()
+
+			// The optimized image starts from the content image.
+			img := d.Param(content.Clone())
+			opt := nn.NewAdam(d, []*nn.V{img}, 0.05, 0.9)
+			prev := float32(0)
+			for it := 0; it < iters; it++ {
+				taps, ct, err := vgg.features(img)
+				if err != nil {
+					return err
+				}
+				total, err := nn.MSELoss(ct, contentRef)
+				if err != nil {
+					return err
+				}
+				for si, tap := range taps {
+					g, err := gram(tap)
+					if err != nil {
+						return err
+					}
+					sl, err := nn.MSELoss(g, styleTargets[si])
+					if err != nil {
+						return err
+					}
+					total, err = nn.Add(total, sl, 1, 1000)
+					if err != nil {
+						return err
+					}
+				}
+				tv, err := nn.TVLoss(img)
+				if err != nil {
+					return err
+				}
+				total, err = nn.Add(total, tv, 1, 10)
+				if err != nil {
+					return err
+				}
+				if err := total.Backward(); err != nil {
+					return err
+				}
+				opt.Step()
+				// The optimized image is clamped to the valid range each
+				// iteration.
+				for i, v := range img.T.Data {
+					if v < 0 {
+						img.T.Data[i] = 0
+					} else if v > 1 {
+						img.T.Data[i] = 1
+					}
+				}
+				d.EmitNamed("clamp_image", img.T.Numel(), 2, 1, 1)
+				prev = total.T.Data[0]
+			}
+			_ = prev
+			return nil
+		},
+	}
+}

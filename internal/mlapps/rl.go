@@ -1,0 +1,204 @@
+package mlapps
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// qNetwork is the DeepMind-style DQN: three convolutions over stacked
+// frames, then two fully connected layers to per-action Q values.
+type qNetwork struct {
+	c1, c2, c3 *nn.Conv2d
+	f1, f2     *nn.Linear
+	flat       int
+}
+
+func newQNetwork(d *nn.Device, frameSize, actions int) *qNetwork {
+	q := &qNetwork{
+		c1: nn.NewConv2d(d, 4, 16, 4, 2, 1),  // 20 -> 10
+		c2: nn.NewConv2d(d, 16, 32, 4, 2, 1), // 10 -> 5
+		c3: nn.NewConv2d(d, 32, 32, 3, 1, 1), // 5 -> 5
+	}
+	side := frameSize / 4
+	q.flat = 32 * side * side
+	q.f1 = nn.NewLinear(d, q.flat, 64)
+	q.f2 = nn.NewLinear(d, 64, actions)
+	return q
+}
+
+func (q *qNetwork) forward(x *nn.V) (*nn.V, error) {
+	h, err := q.c1.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	if h, err = q.c2.Forward(h); err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	if h, err = q.c3.Forward(h); err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	if h, err = nn.Reshape(h, h.T.Shape[0], q.flat); err != nil {
+		return nil, err
+	}
+	if h, err = q.f1.Forward(h); err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	return q.f2.Forward(h)
+}
+
+func (q *qNetwork) params() []*nn.V {
+	return nn.CollectParams(q.c1.Params(), q.c2.Params(), q.c3.Params(),
+		q.f1.Params(), q.f2.Params())
+}
+
+// copyInto copies parameter values into a target network, launching the
+// parameter-copy kernel DQN target updates perform.
+func (q *qNetwork) copyInto(d *nn.Device, dst *qNetwork) {
+	src, dstP := q.params(), dst.params()
+	total := 0
+	for i := range src {
+		copy(dstP[i].T.Data, src[i].T.Data)
+		total += src[i].T.Numel()
+	}
+	d.EmitParamOp("copy_target_network", total, 0.5, 1, 1)
+}
+
+type transition struct {
+	state     *tensor.Tensor
+	action    int
+	reward    float64
+	nextState *tensor.Tensor
+	terminal  bool
+}
+
+// ReinforcementLearning returns RFL: DQN training on the flappy-bird
+// environment with an experience-replay buffer and a target network.
+func ReinforcementLearning() *Workload {
+	return &Workload{
+		name:        "Deep-Q reinforcement learning (flappy bird)",
+		abbr:        "RFL",
+		replication: 80, // 20x20 frames, batch 16 tile of 84x84 batch 32
+		seed:        33,
+		train: func(d *nn.Device) error {
+			const (
+				frame   = 20
+				actions = 2
+				batch   = 16
+				gamma   = 0.95
+				steps   = 30
+			)
+			policy := newQNetwork(d, frame, actions)
+			target := newQNetwork(d, frame, actions)
+			policy.copyInto(d, target)
+			opt := nn.NewAdam(d, policy.params(), 1e-3, 0.9)
+			env := newFlappyEnv(d.RNG, frame)
+			var replay []transition
+
+			epsilon := 1.0
+			for step := 0; step < steps; step++ {
+				// --- Act: epsilon-greedy with a batch-1 inference pass -----
+				obs := env.observation()
+				// Frame pipeline of the flappy-bird DQN: resize, grayscale,
+				// binarize, stack.
+				d.EmitNamed("resize_bilinear", obs.Numel(), 6, 1, 1)
+				d.EmitNamed("rgb_to_gray", obs.Numel(), 3, 1, 1)
+				d.EmitNamed("binarize_frame", obs.Numel(), 1, 1, 1)
+				d.EmitNamed("cat_frame_stack", obs.Numel(), 0.5, 1, 1)
+				action := 0
+				if d.RNG.Float64() < epsilon {
+					action = d.RNG.Intn(actions)
+				} else {
+					q, err := policy.forward(d.Const(obs))
+					if err != nil {
+						return err
+					}
+					if q.T.Data[1] > q.T.Data[0] {
+						action = 1
+					}
+				}
+				reward, done := env.step(action)
+				replay = append(replay, transition{
+					state: obs, action: action, reward: reward,
+					nextState: env.observation(), terminal: done,
+				})
+				if len(replay) > 200 {
+					replay = replay[1:]
+				}
+				epsilon = math.Max(0.1, epsilon*0.97)
+
+				// --- Learn: sample a minibatch from replay -----------------
+				if len(replay) < batch {
+					continue
+				}
+				states := tensor.New(batch, 4, frame, frame)
+				next := tensor.New(batch, 4, frame, frame)
+				var acts []int
+				var rewards []float64
+				var terms []bool
+				for i := 0; i < batch; i++ {
+					tr := replay[d.RNG.Intn(len(replay))]
+					copy(states.Data[i*4*frame*frame:(i+1)*4*frame*frame], tr.state.Data)
+					copy(next.Data[i*4*frame*frame:(i+1)*4*frame*frame], tr.nextState.Data)
+					acts = append(acts, tr.action)
+					rewards = append(rewards, tr.reward)
+					terms = append(terms, tr.terminal)
+				}
+				d.EmitNamed("replay_batch_gather", states.Numel()*2, 1, 1, 1)
+
+				// Target values from the frozen network (no grad).
+				qNext, err := target.forward(d.Const(next))
+				if err != nil {
+					return err
+				}
+				d.EmitNamed("reduce_max_q", qNext.T.Numel(), 1, 1, 1)
+				targets := tensor.New(batch, actions)
+				qCur, err := policy.forward(d.Const(states))
+				if err != nil {
+					return err
+				}
+				for i := 0; i < batch; i++ {
+					maxQ := math.Max(float64(qNext.T.Data[i*actions]), float64(qNext.T.Data[i*actions+1]))
+					y := rewards[i]
+					if !terms[i] {
+						y += gamma * maxQ
+					}
+					// Only the taken action's Q is regressed; others keep
+					// their current value (zero TD error).
+					for a := 0; a < actions; a++ {
+						targets.Data[i*actions+a] = qCur.T.Data[i*actions+a]
+					}
+					targets.Data[i*actions+acts[i]] = float32(y)
+				}
+				d.EmitNamed("q_gather_action", batch, 1, 2, 1)
+				d.EmitNamed("clamp_td_error", batch, 2, 1, 1)
+				d.EmitNamed("td_target_build", batch*actions, 3, 2, 1)
+
+				// Gradient step on the policy network.
+				qPred, err := policy.forward(d.Const(states))
+				if err != nil {
+					return err
+				}
+				loss, err := nn.MSELoss(qPred, targets)
+				if err != nil {
+					return err
+				}
+				if err := loss.Backward(); err != nil {
+					return err
+				}
+				opt.Step()
+
+				// Periodic target sync.
+				if step%10 == 9 {
+					policy.copyInto(d, target)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,160 @@
+package mlapps
+
+import (
+	"repro/internal/nn"
+)
+
+// stnClassifier is the spatial-transformer network of the PyTorch tutorial:
+// a localization net regresses affine parameters, the input is resampled
+// through affine_grid + grid_sample, and a small CNN classifies the result.
+type stnClassifier struct {
+	// Localization.
+	locC1, locC2 *nn.Conv2d
+	locF1, locF2 *nn.Linear
+	locFlat      int
+	// Classifier.
+	c1, c2 *nn.Conv2d
+	f1, f2 *nn.Linear
+	flat   int
+	size   int
+}
+
+func newSTNClassifier(d *nn.Device, size, classes int) *stnClassifier {
+	s := &stnClassifier{size: size}
+	s.locC1 = nn.NewConv2d(d, 1, 8, 5, 1, 2)  // size
+	s.locC2 = nn.NewConv2d(d, 8, 10, 5, 1, 2) // size/2 after pool
+	locSide := size / 4
+	s.locFlat = 10 * locSide * locSide
+	s.locF1 = nn.NewLinear(d, s.locFlat, 32)
+	s.locF2 = nn.NewLinear(d, 32, 6)
+	// Bias the affine regressor to the identity transform, as the tutorial
+	// does.
+	copy(s.locF2.B.T.Data, []float32{1, 0, 0, 0, 1, 0})
+
+	s.c1 = nn.NewConv2d(d, 1, 10, 5, 1, 2)
+	s.c2 = nn.NewConv2d(d, 10, 20, 5, 1, 2)
+	side := size / 4
+	s.flat = 20 * side * side
+	s.f1 = nn.NewLinear(d, s.flat, 50)
+	s.f2 = nn.NewLinear(d, 50, classes)
+	return s
+}
+
+// transform runs the localization net and resamples x.
+func (s *stnClassifier) transform(x *nn.V, train bool) (*nn.V, error) {
+	h, err := s.locC1.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	if h, err = nn.MaxPool(h, 2, 2); err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	if h, err = s.locC2.Forward(h); err != nil {
+		return nil, err
+	}
+	if h, err = nn.MaxPool(h, 2, 2); err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	if h, err = nn.Reshape(h, h.T.Shape[0], s.locFlat); err != nil {
+		return nil, err
+	}
+	if h, err = s.locF1.Forward(h); err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	theta, err := s.locF2.Forward(h)
+	if err != nil {
+		return nil, err
+	}
+	if theta, err = nn.Reshape(theta, theta.T.Shape[0], 2, 3); err != nil {
+		return nil, err
+	}
+	grid, err := nn.AffineGrid(theta, s.size, s.size)
+	if err != nil {
+		return nil, err
+	}
+	return nn.GridSample(x, grid)
+}
+
+// forward classifies a (B, 1, size, size) batch.
+func (s *stnClassifier) forward(x *nn.V, train bool) (*nn.V, error) {
+	x, err := s.transform(x, train)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.c1.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	if h, err = nn.MaxPool(h, 2, 2); err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	if h, err = s.c2.Forward(h); err != nil {
+		return nil, err
+	}
+	h = nn.Dropout(h, 0.3, train)
+	if h, err = nn.MaxPool(h, 2, 2); err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	if h, err = nn.Reshape(h, h.T.Shape[0], s.flat); err != nil {
+		return nil, err
+	}
+	if h, err = s.f1.Forward(h); err != nil {
+		return nil, err
+	}
+	h = nn.ReLU(h)
+	h = nn.Dropout(h, 0.3, train)
+	return s.f2.Forward(h)
+}
+
+func (s *stnClassifier) params() []*nn.V {
+	return nn.CollectParams(
+		s.locC1.Params(), s.locC2.Params(), s.locF1.Params(), s.locF2.Params(),
+		s.c1.Params(), s.c2.Params(), s.f1.Params(), s.f2.Params())
+}
+
+// SpatialTransformer returns SPT: training a spatial-transformer classifier
+// on distorted procedural digits (the MNIST stand-in), with SGD as in the
+// paper's description.
+func SpatialTransformer() *Workload {
+	return &Workload{
+		name:        "Spatial transformer network training (MNIST)",
+		abbr:        "SPT",
+		replication: 48, // 16x16 batch-8 tile of 28x28 batch-64 training
+		seed:        44,
+		train: func(d *nn.Device) error {
+			const (
+				size    = 16
+				classes = 4
+				batch   = 8
+				iters   = 8
+			)
+			model := newSTNClassifier(d, size, classes)
+			opt := nn.NewSGD(d, model.params(), 0.02, 0.9)
+			var lastLoss float32
+			for it := 0; it < iters; it++ {
+				imgs, labels := digitBatch(d.RNG, batch, size, classes, true)
+				d.EmitNamed("normalize_images", imgs.Numel(), 3, 1, 1)
+				logits, err := model.forward(d.Const(imgs), true)
+				if err != nil {
+					return err
+				}
+				loss, err := nn.CrossEntropy(logits, labels)
+				if err != nil {
+					return err
+				}
+				if err := loss.Backward(); err != nil {
+					return err
+				}
+				opt.Step()
+				lastLoss = loss.T.Data[0]
+			}
+			_ = lastLoss
+			return nil
+		},
+	}
+}

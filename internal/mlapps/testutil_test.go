@@ -1,0 +1,12 @@
+package mlapps
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func newDevice(t *testing.T) *nn.Device {
+	t.Helper()
+	return nn.NewDevice(newSession(t), 1, 7)
+}

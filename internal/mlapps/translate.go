@@ -1,0 +1,268 @@
+package mlapps
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// seq2seq is the attention encoder-decoder of the PyTorch translation
+// tutorial: GRU encoder, GRU decoder with learned attention over encoder
+// states, teacher forcing during training.
+type seq2seq struct {
+	srcEmbed, dstEmbed *nn.V
+	encoder1, encoder2 *nn.GRUCell
+	decoder1, decoder2 *nn.GRUCell
+	attn, attnCombine  *nn.Linear
+	out                *nn.Linear
+	embDim, hidden     int
+	maxLen             int
+}
+
+func newSeq2Seq(d *nn.Device, srcVocab, dstVocab, embDim, hidden, maxLen int) *seq2seq {
+	return &seq2seq{
+		srcEmbed:    d.Param(tensor.Randn(d.RNG, 0.1, srcVocab, embDim)),
+		dstEmbed:    d.Param(tensor.Randn(d.RNG, 0.1, dstVocab, embDim)),
+		encoder1:    nn.NewGRUCell(d, embDim, hidden),
+		encoder2:    nn.NewGRUCell(d, hidden, hidden),
+		decoder1:    nn.NewGRUCell(d, 2*hidden, hidden),
+		decoder2:    nn.NewGRUCell(d, hidden, hidden),
+		attn:        nn.NewLinear(d, embDim+hidden, maxLen),
+		attnCombine: nn.NewLinear(d, embDim+hidden, hidden),
+		out:         nn.NewLinear(d, hidden, dstVocab),
+		embDim:      embDim, hidden: hidden, maxLen: maxLen,
+	}
+}
+
+func (m *seq2seq) params() []*nn.V {
+	return nn.CollectParams(
+		[]*nn.V{m.srcEmbed, m.dstEmbed},
+		m.encoder1.Params(), m.encoder2.Params(),
+		m.decoder1.Params(), m.decoder2.Params(),
+		m.attn.Params(), m.attnCombine.Params(), m.out.Params())
+}
+
+// encode runs the encoder over the padded source batch (time-major token
+// ids), returning all hidden states.
+func (m *seq2seq) encode(d *nn.Device, src [][]int) ([]*nn.V, *nn.V, error) {
+	batch := len(src[0])
+	h1 := d.Const(tensor.New(batch, m.hidden))
+	h2 := d.Const(tensor.New(batch, m.hidden))
+	var states []*nn.V
+	for _, tokens := range src {
+		emb, err := nn.Embedding(m.srcEmbed, tokens)
+		if err != nil {
+			return nil, nil, err
+		}
+		h1, err = m.encoder1.Step(emb, h1)
+		if err != nil {
+			return nil, nil, err
+		}
+		h2, err = m.encoder2.Step(h1, h2)
+		if err != nil {
+			return nil, nil, err
+		}
+		states = append(states, h2)
+	}
+	return states, h2, nil
+}
+
+// decodeStep runs one attention-decoder step.
+func (m *seq2seq) decodeStep(d *nn.Device, prev []int, h *nn.V, encStates []*nn.V, train bool) (logits, hNext *nn.V, err error) {
+	emb, err := nn.Embedding(m.dstEmbed, prev)
+	if err != nil {
+		return nil, nil, err
+	}
+	emb = nn.Dropout(emb, 0.1, train)
+	cat, err := nn.Concat2D(emb, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	scores, err := m.attn.Forward(cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Attention spans maxLen slots; only the first len(encStates) carry
+	// states, so restrict the weighted sum to them (PyTorch pads instead;
+	// the kernel behavior is identical).
+	weights, err := nn.SoftmaxRows(scores)
+	if err != nil {
+		return nil, nil, err
+	}
+	wUsed, err := nn.SliceCols(weights, 0, len(encStates))
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, err := nn.AttentionContext(wUsed, encStates)
+	if err != nil {
+		return nil, nil, err
+	}
+	comb, err := nn.Concat2D(emb, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	comb, err = m.attnCombine.Forward(comb)
+	if err != nil {
+		return nil, nil, err
+	}
+	comb = nn.ReLU(comb)
+	gruIn, err := nn.Concat2D(comb, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	h1, err := m.decoder1.Step(gruIn, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	hNext, err = m.decoder2.Step(h1, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	proj, err := m.out.Forward(hNext)
+	if err != nil {
+		return nil, nil, err
+	}
+	logits, err = nn.LogSoftmaxRows(proj)
+	if err != nil {
+		return nil, nil, err
+	}
+	return logits, hNext, nil
+}
+
+// LanguageTranslation returns LGT: training the attention seq2seq model on
+// a synthetic parallel corpus (the Spacy German-English stand-in).
+func LanguageTranslation() *Workload {
+	return &Workload{
+		name:        "Seq2seq language translation training",
+		abbr:        "LGT",
+		replication: 72, // vocab 300 / hidden 32 tile of the full model
+		seed:        55,
+		train: func(d *nn.Device) error {
+			const (
+				srcVocab = 300
+				dstVocab = 300
+				embDim   = 40
+				hidden   = 24
+				maxLen   = 10
+				batch    = 12
+				iters    = 4
+			)
+			corpus := newParallelCorpus(d.RNG, 64, srcVocab, dstVocab, 5, maxLen-1)
+			model := newSeq2Seq(d, srcVocab, dstVocab, embDim, hidden, maxLen)
+			opt := nn.NewAdam(d, model.params(), 1e-3, 0.9)
+			// PyTorch 1.7 (the paper's stack) updates each parameter tensor
+			// with its own kernel instance.
+			opt.SetPerParam(true)
+
+			makeBatch := func() (src, dst [][]int) {
+				// Time-major padded batches.
+				maxS, maxD := 0, 0
+				var pairs [][2][]int
+				for i := 0; i < batch; i++ {
+					p := corpus.Pairs[d.RNG.Intn(len(corpus.Pairs))]
+					pairs = append(pairs, p)
+					if len(p[0]) > maxS {
+						maxS = len(p[0])
+					}
+					if len(p[1]) > maxD {
+						maxD = len(p[1])
+					}
+				}
+				src = make([][]int, maxS)
+				for t := range src {
+					src[t] = make([]int, batch)
+					for b, p := range pairs {
+						if t < len(p[0]) {
+							src[t][b] = p[0][t]
+						}
+					}
+				}
+				dst = make([][]int, maxD)
+				for t := range dst {
+					dst[t] = make([]int, batch)
+					for b, p := range pairs {
+						if t < len(p[1]) {
+							dst[t][b] = p[1][t]
+						}
+					}
+				}
+				return src, dst
+			}
+
+			for it := 0; it < iters; it++ {
+				src, dst := makeBatch()
+				// TorchText-style batching pipeline.
+				d.EmitNamed("pad_pack_sequences", batch*maxLen, 1, 1, 1)
+				d.EmitNamed("bucket_batch_tokens", batch*maxLen, 1, 1, 1)
+				encStates, h, err := model.encode(d, src)
+				if err != nil {
+					return err
+				}
+				if len(encStates) > maxLen {
+					encStates = encStates[:maxLen]
+				}
+				// Teacher forcing: feed gold tokens, accumulate CE loss.
+				prev := make([]int, batch) // SOS = 0
+				var total *nn.V
+				for t := 0; t < len(dst); t++ {
+					logits, hNext, err := model.decodeStep(d, prev, h, encStates, true)
+					if err != nil {
+						return err
+					}
+					h = hNext
+					loss, err := nn.NLLLoss(logits, dst[t])
+					if err != nil {
+						return err
+					}
+					if total == nil {
+						total = loss
+					} else {
+						total, err = nn.Add(total, loss, 1, 1)
+						if err != nil {
+							return err
+						}
+					}
+					prev = dst[t]
+				}
+				if err := total.Backward(); err != nil {
+					return err
+				}
+				nn.ClipGradNorm(d, model.params(), 1.0)
+				opt.Step()
+			}
+
+			// Greedy decoding of one sentence (batch 1), as the tutorial's
+			// evaluation does — exercising the batch-1 kernel variants.
+			src := [][]int{}
+			sent := corpus.Pairs[0][0]
+			for _, tok := range sent {
+				src = append(src, []int{tok})
+			}
+			encStates, h, err := model.encode(d, src)
+			if err != nil {
+				return err
+			}
+			if len(encStates) > maxLen {
+				encStates = encStates[:maxLen]
+			}
+			prev := []int{0}
+			for t := 0; t < maxLen; t++ {
+				logits, hNext, err := model.decodeStep(d, prev, h, encStates, false)
+				if err != nil {
+					return err
+				}
+				h = hNext
+				best, bestV := 0, float32(-1e30)
+				for j, v := range logits.T.Data {
+					if v > bestV {
+						best, bestV = j, v
+					}
+				}
+				if best == 1 { // EOS
+					break
+				}
+				prev = []int{best}
+			}
+			return nil
+		},
+	}
+}

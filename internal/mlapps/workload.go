@@ -1,0 +1,40 @@
+package mlapps
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/profiler"
+	"repro/internal/workloads"
+)
+
+// Workload is one configured machine-learning training benchmark.
+type Workload struct {
+	name, abbr  string
+	replication float64
+	seed        int64
+	train       func(d *nn.Device) error
+}
+
+var _ workloads.Workload = (*Workload)(nil)
+
+// Name returns the full workload name.
+func (w *Workload) Name() string { return w.name }
+
+// Abbr returns the paper's abbreviation.
+func (w *Workload) Abbr() string { return w.abbr }
+
+// Suite returns Cactus.
+func (w *Workload) Suite() workloads.Suite { return workloads.Cactus }
+
+// Domain returns the machine-learning domain.
+func (w *Workload) Domain() workloads.Domain { return workloads.MachineL }
+
+// Run executes the training loop against s.
+func (w *Workload) Run(s *profiler.Session) error {
+	d := nn.NewDevice(s, w.replication, w.seed)
+	if err := w.train(d); err != nil {
+		return fmt.Errorf("mlapps: %s: %w", w.abbr, err)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/tensor"
+)
+
+func TestBucket(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 4, 7: 4, 8: 8, 100: 64, 128: 128}
+	for in, want := range cases {
+		if got := bucket(in); got != want {
+			t.Errorf("bucket(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestReplicationScalesInstructionsLinearly(t *testing.T) {
+	d, err := gpu.New(gpu.RTX3080())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(repl float64) uint64 {
+		dev := NewDevice(profiler.NewSession(d), repl, 1)
+		dev.EmitNamed("probe", 1<<16, 2, 1, 1)
+		return dev.Session().TotalWarpInstructions()
+	}
+	one := run(1)
+	four := run(4)
+	ratio := float64(four) / float64(one)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("replication 4 scaled instructions by %gx, want 4x", ratio)
+	}
+}
+
+func TestParamOpScalesBySqrt(t *testing.T) {
+	d, err := gpu.New(gpu.RTX3080())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(repl float64) uint64 {
+		dev := NewDevice(profiler.NewSession(d), repl, 1)
+		dev.EmitParamOp("probe", 1<<16, 2, 1, 1)
+		return dev.Session().TotalWarpInstructions()
+	}
+	one := run(1)
+	sixteen := run(16)
+	// sqrt(16) = 4x expected.
+	ratio := float64(sixteen) / float64(one)
+	if ratio < 3.8 || ratio > 4.2 {
+		t.Errorf("param op under replication 16 scaled by %gx, want ~4x", ratio)
+	}
+}
+
+func TestWeightStreamsScaleBySqrt(t *testing.T) {
+	d, err := gpu.New(gpu.RTX3080())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicated GEMM: activation traffic scales by R, weight traffic by
+	// sqrt(R), so total sectors grow sublinearly in R.
+	sectors := func(repl float64) uint64 {
+		dev := NewDevice(profiler.NewSession(d), repl, 1)
+		a := dev.Const(tensor.Full(1, 64, 256))
+		w := dev.Const(tensor.Full(1, 256, 64))
+		if _, err := MatMul(a, w, false, false); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Session().Launches()[0].Traffic.Sectors
+	}
+	one := sectors(1)
+	sixteen := sectors(16)
+	ratio := float64(sixteen) / float64(one)
+	if ratio >= 16 || ratio <= 4 {
+		t.Errorf("replication 16 scaled GEMM sectors by %gx, want between 4x and 16x", ratio)
+	}
+	// Kernel names stay bucketed regardless of replication.
+	dev := NewDevice(profiler.NewSession(d), 1, 1)
+	a := dev.Const(tensor.Full(1, 64, 256))
+	w := dev.Const(tensor.Full(1, 256, 64))
+	if _, err := MatMul(a, w, false, false); err != nil {
+		t.Fatal(err)
+	}
+	name := dev.Session().Launches()[0].Name
+	if !strings.HasPrefix(name, "ampere_sgemm_64x64x128_") {
+		t.Errorf("gemm kernel name = %q", name)
+	}
+}
+
+func TestGEMMKernelNamesDistinguishLayouts(t *testing.T) {
+	d, err := gpu.New(gpu.RTX3080())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice(profiler.NewSession(d), 1, 1)
+	a := dev.Const(tensor.Full(1, 16, 16))
+	if _, err := MatMul(a, a, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MatMul(a, a, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MatMul(a, a, false, true); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, l := range dev.Session().Launches() {
+		names[l.Name] = true
+	}
+	for _, want := range []string{"ampere_sgemm_16x16x16_nn", "ampere_sgemm_16x16x16_tn", "ampere_sgemm_16x16x16_nt"} {
+		if !names[want] {
+			t.Errorf("missing %s in %v", want, names)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestLogSoftmaxNLLMatchesCrossEntropy(t *testing.T) {
+	d := device(t)
+	logits := tensor.Randn(d.RNG, 1, 4, 6)
+	labels := []int{2, 0, 5, 3}
+
+	a := d.Param(logits.Clone())
+	ce, err := CrossEntropy(a, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ce.Backward(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := d.Param(logits.Clone())
+	ls, err := LogSoftmaxRows(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nll, err := NLLLoss(ls, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nll.Backward(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The two formulations are mathematically identical: same loss, same
+	// gradient.
+	if math.Abs(float64(ce.T.Data[0]-nll.T.Data[0])) > 1e-5 {
+		t.Errorf("loss %g vs %g", ce.T.Data[0], nll.T.Data[0])
+	}
+	for i := range a.Grad.Data {
+		if math.Abs(float64(a.Grad.Data[i]-b.Grad.Data[i])) > 1e-5 {
+			t.Fatalf("grad[%d]: %g vs %g", i, a.Grad.Data[i], b.Grad.Data[i])
+		}
+	}
+}
+
+func TestLogSoftmaxGradient(t *testing.T) {
+	d := device(t)
+	x := d.Param(tensor.Randn(d.RNG, 1, 2, 5))
+	weights := tensor.Randn(d.RNG, 1, 2, 5)
+	forward := func() float64 {
+		var s float64
+		probs, _ := tensor.Softmax(x.T)
+		for i := range probs.Data {
+			s += math.Log(float64(probs.Data[i])) * float64(weights.Data[i]) / 10
+		}
+		return s
+	}
+	ls, err := LogSoftmaxRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wv, err := MulElem(ls, d.Const(weights))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mean(wv).Backward(); err != nil {
+		t.Fatal(err)
+	}
+	gradCheck(t, "log-softmax", x.T, x.Grad, forward, []int{0, 4, 9})
+}
+
+func TestNLLLossErrors(t *testing.T) {
+	d := device(t)
+	lp := d.Param(tensor.New(2, 3))
+	if _, err := NLLLoss(lp, []int{0}); err == nil {
+		t.Error("label-count mismatch should fail")
+	}
+	if _, err := NLLLoss(lp, []int{0, 7}); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+}
+
+func TestTVLossGradientAndValue(t *testing.T) {
+	d := device(t)
+	// A constant image has zero total variation.
+	flat := d.Param(tensor.Full(0.5, 1, 1, 4, 4))
+	tv, err := TVLoss(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.T.Data[0] != 0 {
+		t.Errorf("constant-image TV = %g", tv.T.Data[0])
+	}
+	// Gradient check on a random image.
+	x := d.Param(tensor.Randn(d.RNG, 1, 1, 2, 4, 4))
+	forward := func() float64 {
+		xx := d.Const(x.T)
+		l, err := TVLoss(xx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(l.T.Data[0])
+	}
+	l, err := TVLoss(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Backward(); err != nil {
+		t.Fatal(err)
+	}
+	gradCheck(t, "tv", x.T, x.Grad, forward, []int{0, 9, 31})
+	if _, err := TVLoss(d.Param(tensor.New(3, 3))); err == nil {
+		t.Error("2-D input should fail")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	d := device(t)
+	p := d.Param(tensor.New(4))
+	p.Grad = tensor.Full(3, 4) // norm = 6
+	norm := ClipGradNorm(d, []*V{p}, 1.5)
+	if math.Abs(float64(norm)-6) > 1e-5 {
+		t.Errorf("norm = %g, want 6", norm)
+	}
+	var after float64
+	for _, g := range p.Grad.Data {
+		after += float64(g) * float64(g)
+	}
+	if math.Abs(math.Sqrt(after)-1.5) > 1e-5 {
+		t.Errorf("clipped norm = %g, want 1.5", math.Sqrt(after))
+	}
+	// Below the threshold: untouched.
+	p.Grad = tensor.Full(0.1, 4)
+	ClipGradNorm(d, []*V{p}, 1.5)
+	if p.Grad.Data[0] != 0.1 {
+		t.Error("in-range gradients must not be rescaled")
+	}
+	// No gradients at all.
+	q := d.Param(tensor.New(4))
+	if got := ClipGradNorm(d, []*V{q}, 1); got != 0 {
+		t.Errorf("no-grad norm = %g", got)
+	}
+}
+
+func TestAdamPerParamKernels(t *testing.T) {
+	d := device(t)
+	p1 := d.Param(tensor.Full(1, 100))
+	p2 := d.Param(tensor.Full(1, 3000))
+	opt := NewAdam(d, []*V{p1, p2}, 0.1, 0.9)
+	opt.SetPerParam(true)
+	p1.Grad = tensor.Full(1, 100)
+	p2.Grad = tensor.Full(1, 3000)
+	opt.Step()
+	names := map[string]bool{}
+	for _, l := range d.Session().Launches() {
+		names[l.Name] = true
+	}
+	if !names["adam_elementwise_n64"] || !names["adam_elementwise_n2048"] {
+		t.Errorf("per-param adam kernels missing: %v", names)
+	}
+	if names["multi_tensor_adam_step"] {
+		t.Error("multi-tensor kernel must not launch in per-param mode")
+	}
+}
+
+func TestSliceColsGradient(t *testing.T) {
+	d := device(t)
+	x := d.Param(tensor.Randn(d.RNG, 1, 3, 6))
+	sl, err := SliceCols(x, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.T.Shape[1] != 3 {
+		t.Fatalf("slice shape %v", sl.T.Shape)
+	}
+	if err := Mean(sl).Backward(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 6; j++ {
+			g := x.Grad.Data[i*6+j]
+			if j >= 2 && j < 5 {
+				if math.Abs(float64(g)-1.0/9) > 1e-6 {
+					t.Errorf("grad[%d,%d] = %g", i, j, g)
+				}
+			} else if g != 0 {
+				t.Errorf("grad outside slice at [%d,%d] = %g", i, j, g)
+			}
+		}
+	}
+	if _, err := SliceCols(x, 4, 2); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestAttentionContextGradients(t *testing.T) {
+	d := device(t)
+	const b, tl, h = 2, 3, 4
+	w := d.Param(tensor.Randn(d.RNG, 0.5, b, tl))
+	enc := make([]*V, tl)
+	for i := range enc {
+		enc[i] = d.Param(tensor.Randn(d.RNG, 1, b, h))
+	}
+	ctx, err := AttentionContext(w, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.T.Shape[0] != b || ctx.T.Shape[1] != h {
+		t.Fatalf("context shape %v", ctx.T.Shape)
+	}
+	sq, err := MulElem(ctx, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mean(sq).Backward(); err != nil {
+		t.Fatal(err)
+	}
+	forward := func() float64 {
+		out := tensor.New(b, h)
+		for bi := 0; bi < b; bi++ {
+			for ti := 0; ti < tl; ti++ {
+				for hi := 0; hi < h; hi++ {
+					out.Data[bi*h+hi] += w.T.Data[bi*tl+ti] * enc[ti].T.Data[bi*h+hi]
+				}
+			}
+		}
+		var s float64
+		for _, v := range out.Data {
+			s += float64(v*v) / float64(out.Numel())
+		}
+		return s
+	}
+	gradCheck(t, "attn-w", w.T, w.Grad, forward, []int{0, 3, 5})
+	gradCheck(t, "attn-enc0", enc[0].T, enc[0].Grad, forward, []int{0, 7})
+	gradCheck(t, "attn-enc2", enc[2].T, enc[2].Grad, forward, []int{1, 6})
+
+	if _, err := AttentionContext(w, nil); err == nil {
+		t.Error("no states should fail")
+	}
+	if _, err := AttentionContext(w, enc[:2]); err == nil {
+		t.Error("state-count mismatch should fail")
+	}
+}

@@ -1,0 +1,283 @@
+// Package profiler plays the role Nsight Compute plays in the paper: it
+// records every kernel launch a workload issues on the device model and
+// aggregates them into per-kernel profiles carrying the paper's performance
+// metrics (Table IV) plus the four primary metrics (GIPS, instruction
+// intensity, SM efficiency, warp occupancy).
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/gpu"
+	"repro/internal/isa"
+	"repro/internal/memsim"
+)
+
+// Metric enumerates the collected performance metrics. The first four are
+// the paper's primary metrics; the remainder reproduce Table IV.
+type Metric uint8
+
+const (
+	// GIPS is achieved Giga warp instructions per second.
+	GIPS Metric = iota
+	// InstIntensity is warp instructions per DRAM transaction.
+	InstIntensity
+	// SMEfficiency is the fraction of time with at least one active warp
+	// per SM.
+	SMEfficiency
+	// WarpOccupancy is the average number of active warps across all SMs.
+	WarpOccupancy
+	// L1HitRate is the fraction of accesses that hit in L1.
+	L1HitRate
+	// L2HitRate is the fraction of accesses that hit in L2.
+	L2HitRate
+	// DRAMReadThroughput is total DRAM read bytes per second.
+	DRAMReadThroughput
+	// LDSTUtilization is the average load/store functional-unit utilization.
+	LDSTUtilization
+	// SPUtilization is the average FP32 pipeline utilization.
+	SPUtilization
+	// FracBranches is the fraction of branch instructions.
+	FracBranches
+	// FracLDST is the fraction of memory operations.
+	FracLDST
+	// StallExec is the stall ratio due to execution dependencies.
+	StallExec
+	// StallPipe is the stall ratio due to busy pipelines.
+	StallPipe
+	// StallSync is the stall ratio due to synchronization.
+	StallSync
+	// StallMem is the stall ratio due to memory accesses.
+	StallMem
+
+	numMetrics
+)
+
+// NumMetrics is the number of collected metrics.
+const NumMetrics = int(numMetrics)
+
+var metricNames = [NumMetrics]string{
+	"GIPS", "Inst. intensity", "SM efficiency", "Warp occupancy",
+	"L1 hit rate", "L2 hit rate", "DRAM read throughput",
+	"LD/ST utilization", "SP utilization",
+	"Fraction branches", "Fraction LD/ST insts",
+	"Execution stall", "Pipe stall", "Sync stall", "Memory stall",
+}
+
+// String returns the metric's display name.
+func (m Metric) String() string {
+	if int(m) < NumMetrics {
+		return metricNames[m]
+	}
+	return fmt.Sprintf("metric(%d)", uint8(m))
+}
+
+// Primary reports whether m is one of the paper's four primary metrics.
+func (m Metric) Primary() bool { return m <= WarpOccupancy }
+
+// Metrics returns all metrics in declaration order.
+func Metrics() []Metric {
+	out := make([]Metric, NumMetrics)
+	for i := range out {
+		out[i] = Metric(i)
+	}
+	return out
+}
+
+// PrimaryMetrics returns the paper's four primary metrics.
+func PrimaryMetrics() []Metric {
+	return []Metric{GIPS, InstIntensity, SMEfficiency, WarpOccupancy}
+}
+
+// SecondaryMetrics returns the Table IV metrics correlated against the
+// primary ones in Figure 8.
+func SecondaryMetrics() []Metric {
+	var out []Metric
+	for _, m := range Metrics() {
+		if !m.Primary() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Vector is a full metric vector indexed by Metric.
+type Vector [NumMetrics]float64
+
+// Get returns the value of metric m.
+func (v Vector) Get(m Metric) float64 { return v[m] }
+
+// KernelProfile aggregates all invocations of one kernel (launches sharing a
+// name), mirroring the paper's r_i x t_i accounting for dominant-kernel
+// ranking.
+type KernelProfile struct {
+	Name        string
+	Invocations int
+	TotalTime   float64 // seconds, summed over invocations
+	Mix         isa.Mix
+	Traffic     memsim.Traffic
+
+	// time-weighted accumulators for averaged metrics
+	wOcc, wSMEff, wLDST, wSP           float64
+	wStallE, wStallP, wStallS, wStallM float64
+}
+
+// WarpInstructions returns the kernel's total executed warp instructions.
+func (k *KernelProfile) WarpInstructions() uint64 { return k.Mix.Total() }
+
+func (k *KernelProfile) add(r gpu.LaunchResult) {
+	k.Invocations++
+	k.TotalTime += r.Time
+	k.Mix.AddMix(r.Mix)
+	k.Traffic.Add(r.Traffic)
+	w := r.Time
+	k.wOcc += w * r.Occ.Achieved
+	k.wSMEff += w * r.SMEfficiency
+	k.wLDST += w * r.LDSTUtil
+	k.wSP += w * r.SPUtil
+	k.wStallE += w * r.StallExec
+	k.wStallP += w * r.StallPipe
+	k.wStallS += w * r.StallSync
+	k.wStallM += w * r.StallMem
+}
+
+// Metrics returns the kernel's aggregated metric vector. Instruction
+// intensity for kernels with zero DRAM traffic is reported against a single
+// transaction (finite, very large) so downstream statistics stay defined.
+func (k *KernelProfile) Metrics() Vector {
+	var v Vector
+	t := k.TotalTime
+	if t <= 0 {
+		return v
+	}
+	insts := float64(k.Mix.Total())
+	txns := float64(k.Traffic.DRAMTxns)
+	if txns < 1 {
+		txns = 1
+	}
+	v[GIPS] = insts / t / 1e9
+	v[InstIntensity] = insts / txns
+	v[SMEfficiency] = k.wSMEff / t
+	v[WarpOccupancy] = k.wOcc / t
+	v[L1HitRate] = k.Traffic.L1HitRate()
+	v[L2HitRate] = k.Traffic.L2HitRate()
+	v[DRAMReadThroughput] = float64(k.Traffic.DRAMReadTx) * float64(memsim.SectorBytes) / t
+	v[LDSTUtilization] = k.wLDST / t
+	v[SPUtilization] = k.wSP / t
+	v[FracBranches] = k.Mix.BranchFraction()
+	v[FracLDST] = k.Mix.MemoryFraction()
+	v[StallExec] = k.wStallE / t
+	v[StallPipe] = k.wStallP / t
+	v[StallSync] = k.wStallS / t
+	v[StallMem] = k.wStallM / t
+	return v
+}
+
+// Session records the launches of one workload run. It wraps a device so
+// workload code only ever talks to the session.
+type Session struct {
+	dev *gpu.Device
+
+	mu       sync.Mutex
+	launches []gpu.LaunchResult
+}
+
+// NewSession starts a profiling session on dev.
+func NewSession(dev *gpu.Device) *Session {
+	return &Session{dev: dev}
+}
+
+// Device returns the underlying device.
+func (s *Session) Device() *gpu.Device { return s.dev }
+
+// Launch models spec on the device and records the result.
+func (s *Session) Launch(spec gpu.KernelSpec) (gpu.LaunchResult, error) {
+	res, err := s.dev.Launch(spec)
+	if err != nil {
+		return res, err
+	}
+	s.mu.Lock()
+	s.launches = append(s.launches, res)
+	s.mu.Unlock()
+	return res, nil
+}
+
+// MustLaunch is Launch that panics on error. Workload kernel specs are
+// constructed programmatically; an invalid one is a bug, not an input error.
+func (s *Session) MustLaunch(spec gpu.KernelSpec) gpu.LaunchResult {
+	res, err := s.Launch(spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Launches returns the recorded launches in issue order.
+func (s *Session) Launches() []gpu.LaunchResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]gpu.LaunchResult, len(s.launches))
+	copy(out, s.launches)
+	return out
+}
+
+// LaunchCount returns the number of recorded launches.
+func (s *Session) LaunchCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.launches)
+}
+
+// TotalTime returns the summed GPU time of all launches, in seconds.
+func (s *Session) TotalTime() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t float64
+	for _, l := range s.launches {
+		t += l.Time
+	}
+	return t
+}
+
+// TotalWarpInstructions returns the summed warp-instruction count.
+func (s *Session) TotalWarpInstructions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, l := range s.launches {
+		n += l.Mix.Total()
+	}
+	return n
+}
+
+// Kernels aggregates launches by kernel name and returns the profiles
+// sorted by descending total time (the paper's dominant-kernel rank:
+// r_i x t_i).
+func (s *Session) Kernels() []*KernelProfile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byName := make(map[string]*KernelProfile)
+	var order []string
+	for _, l := range s.launches {
+		k, ok := byName[l.Name]
+		if !ok {
+			k = &KernelProfile{Name: l.Name}
+			byName[l.Name] = k
+			order = append(order, l.Name)
+		}
+		k.add(l)
+	}
+	out := make([]*KernelProfile, 0, len(order))
+	for _, n := range order {
+		out = append(out, byName[n])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TotalTime != out[j].TotalTime {
+			return out[i].TotalTime > out[j].TotalTime
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,133 @@
+// Package report renders the paper's tables and figures as plain text (and
+// CSV) so every experiment's output can be regenerated and inspected without
+// a plotting stack: aligned tables (Tables I-IV), log-log roofline scatter
+// charts (Figs. 4-7), stacked time-distribution bars (Fig. 2), cumulative
+// distributions (Fig. 3), correlation heatmaps (Fig. 8), and dendrograms
+// (Fig. 9).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r[:len(t.Header)])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits header+rows as comma-separated values, quoting cells that
+// contain commas or quotes.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeLine := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := io.WriteString(w, strings.Join(parts, ",")+"\n")
+		return err
+	}
+	if err := writeLine(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := writeLine(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HBar renders a horizontal bar of the given fraction (0..1) with width
+// cells, using '#' for the filled part.
+func HBar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// StackedBar renders segments (fractions summing to <= 1) using a glyph per
+// segment, cycling through glyphs if needed.
+func StackedBar(fracs []float64, width int) string {
+	glyphs := []byte("#@%*+=-:~o")
+	var b strings.Builder
+	used := 0
+	for i, f := range fracs {
+		n := int(f*float64(width) + 0.5)
+		if used+n > width {
+			n = width - used
+		}
+		b.WriteString(strings.Repeat(string(glyphs[i%len(glyphs)]), n))
+		used += n
+	}
+	if used < width {
+		b.WriteString(strings.Repeat(".", width-used))
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigenvalues and eigenvectors of a symmetric matrix
+// using the cyclic Jacobi method. Results are sorted by descending
+// eigenvalue; eigenvectors are returned column-wise (vecs[i][k] is component
+// i of eigenvector k).
+func EigenSym(a [][]float64) (vals []float64, vecs [][]float64, err error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("stats: eigen of empty matrix")
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrDimension, i, len(a[i]), n)
+		}
+	}
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	// Symmetry check (tolerant).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(m[i][j]-m[j][i]) > 1e-8*(1+math.Abs(m[i][j])) {
+				return nil, nil, fmt.Errorf("stats: matrix not symmetric at (%d,%d)", i, j)
+			}
+			avg := (m[i][j] + m[j][i]) / 2
+			m[i][j], m[j][i] = avg, avg
+		}
+	}
+
+	v := identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = m[i][i]
+	}
+	// Sort by descending eigenvalue, permuting eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	outVals := make([]float64, n)
+	outVecs := make([][]float64, n)
+	for i := range outVecs {
+		outVecs[i] = make([]float64, n)
+	}
+	for k, src := range idx {
+		outVals[k] = vals[src]
+		for i := 0; i < n; i++ {
+			outVecs[i][k] = v[i][src]
+		}
+	}
+	return outVals, outVecs, nil
+}
+
+func identity(n int) [][]float64 {
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	return v
+}
+
+// rotate applies a Jacobi rotation J(p,q,theta) as m = J^T m J and
+// accumulates v = v J.
+func rotate(m, v [][]float64, p, q int, c, s float64) {
+	n := len(m)
+	for i := 0; i < n; i++ {
+		mip, miq := m[i][p], m[i][q]
+		m[i][p] = c*mip - s*miq
+		m[i][q] = s*mip + c*miq
+	}
+	for j := 0; j < n; j++ {
+		mpj, mqj := m[p][j], m[q][j]
+		m[p][j] = c*mpj - s*mqj
+		m[q][j] = s*mpj + c*mqj
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v[i][p], v[i][q]
+		v[i][p] = c*vip - s*viq
+		v[i][q] = s*vip + c*viq
+	}
+}
+
+// PCAResult holds a principal-component decomposition.
+type PCAResult struct {
+	// Eigenvalues in descending order (variance along each component).
+	Eigenvalues []float64
+	// Components is p x p with components column-wise.
+	Components [][]float64
+	// Scores is n x k: the input rows projected on the first k components.
+	Scores [][]float64
+	// ExplainedVariance[k] is Eigenvalues[k] / sum(Eigenvalues).
+	ExplainedVariance []float64
+}
+
+// PCA computes a principal-component analysis of the (already centered or
+// standardized) row-major matrix rows, keeping k components. k is clamped to
+// the number of columns.
+func PCA(rows [][]float64, k int) (*PCAResult, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: PCA of empty matrix")
+	}
+	p := len(rows[0])
+	if k <= 0 || k > p {
+		k = p
+	}
+	// Covariance (columns assumed centered): C = X^T X / n.
+	cov := make([][]float64, p)
+	for i := range cov {
+		cov[i] = make([]float64, p)
+	}
+	for _, r := range rows {
+		if len(r) != p {
+			return nil, fmt.Errorf("%w: ragged PCA input", ErrDimension)
+		}
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				cov[i][j] += r[i] * r[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			cov[i][j] /= float64(n)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	vals, vecs, err := EigenSym(cov)
+	if err != nil {
+		return nil, err
+	}
+	var totalVar float64
+	for _, v := range vals {
+		if v > 0 {
+			totalVar += v
+		}
+	}
+	res := &PCAResult{
+		Eigenvalues:       vals,
+		Components:        vecs,
+		ExplainedVariance: make([]float64, len(vals)),
+	}
+	for i, v := range vals {
+		if totalVar > 0 && v > 0 {
+			res.ExplainedVariance[i] = v / totalVar
+		}
+	}
+	res.Scores = make([][]float64, n)
+	for r, row := range rows {
+		sc := make([]float64, k)
+		for c := 0; c < k; c++ {
+			var s float64
+			for i := 0; i < p; i++ {
+				s += row[i] * vecs[i][c]
+			}
+			sc[c] = s
+		}
+		res.Scores[r] = sc
+	}
+	return res, nil
+}

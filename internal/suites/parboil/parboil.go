@@ -1,0 +1,469 @@
+// Package parboil implements the Parboil subset of Table III: bfs (1M),
+// cutcp, histo, lbm, mri-gridding, mri-q, sad, sgemm, spmv, stencil, tpacf.
+// Every benchmark performs its computation for real at reduced scale and
+// launches the suite's characteristic one-or-two kernels with derived
+// counts; replication factors extrapolate to the reference inputs.
+package parboil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/suites"
+	"repro/internal/tensor"
+	"repro/internal/workloads"
+)
+
+// All returns the Parboil benchmarks in Table III order.
+func All() []workloads.Workload {
+	bs := []*suites.Bench{
+		bfs(), cutcp(), histo(), lbm(), mriGridding(), mriQ(),
+		sad(), sgemm(), spmv(), stencil(), tpacf(),
+	}
+	out := make([]workloads.Workload, len(bs))
+	for i, b := range bs {
+		out[i] = b
+	}
+	return out
+}
+
+func bench(name, abbr string, repl float64, body func(e *suites.Emitter) error) *suites.Bench {
+	return &suites.Bench{
+		BenchName: name, BenchAbbr: abbr,
+		BenchSuite: workloads.Parboil, BenchDomain: workloads.Scientific,
+		Replication: repl, Body: body,
+	}
+}
+
+// bfs: level-synchronous breadth-first search over a random graph — the
+// bottom-up single-kernel-per-level formulation (all memory-intensive).
+func bfs() *suites.Bench {
+	return bench("Parboil BFS (1M nodes)", "pb-bfs", 24, func(e *suites.Emitter) error {
+		r := rand.New(rand.NewSource(9))
+		n := 1 << 14
+		deg := 8
+		adj := make([][]int32, n)
+		for v := range adj {
+			for k := 0; k < deg; k++ {
+				adj[v] = append(adj[v], int32(r.Intn(n)))
+			}
+		}
+		depth := make([]int32, n)
+		for i := range depth {
+			depth[i] = -1
+		}
+		depth[0] = 0
+		frontier := []int32{0}
+		for level := int32(1); len(frontier) > 0; level++ {
+			var next []int32
+			edges := 0
+			for _, u := range frontier {
+				for _, v := range adj[u] {
+					edges++
+					if depth[v] == -1 {
+						depth[v] = level
+						next = append(next, v)
+					}
+				}
+			}
+			var m suites.Mix
+			m.Add(isa.INT, float64(edges*6)).
+				Add(isa.LoadGlobal, float64(edges*2)).
+				Add(isa.StoreGlobal, float64(len(next)+1)).
+				Add(isa.Branch, float64(edges))
+			e.Launch("bfs_levelsync_kernel", len(frontier)+32, &m,
+				[]suites.Stream{
+					suites.Gather("graph", uint64(n*deg*4), uint64(edges*4)),
+					suites.Gather("colors", uint64(n*4), uint64(edges*4)),
+				}, 0.35)
+			frontier = next
+		}
+		return nil
+	})
+}
+
+// cutcp: cutoff Coulomb potential on a lattice — the classic
+// compute-intensive Parboil kernel.
+func cutcp() *suites.Bench {
+	return bench("Parboil cutoff Coulomb potential", "pb-cutcp", 48, func(e *suites.Emitter) error {
+		r := rand.New(rand.NewSource(10))
+		const atoms, grid = 256, 24
+		const cutoff = 6.0
+		type atom struct{ x, y, z, q float64 }
+		as := make([]atom, atoms)
+		for i := range as {
+			as[i] = atom{r.Float64() * grid, r.Float64() * grid, r.Float64() * grid, r.Float64() - 0.5}
+		}
+		var pot float64
+		pairs := 0
+		for gz := 0; gz < grid; gz += 2 {
+			for gy := 0; gy < grid; gy += 2 {
+				for gx := 0; gx < grid; gx += 2 {
+					for _, a := range as {
+						dx, dy, dz := a.x-float64(gx), a.y-float64(gy), a.z-float64(gz)
+						d2 := dx*dx + dy*dy + dz*dz
+						if d2 < cutoff*cutoff && d2 > 0 {
+							pot += a.q / math.Sqrt(d2)
+							pairs++
+						}
+					}
+				}
+			}
+		}
+		if math.IsNaN(pot) {
+			return fmt.Errorf("cutcp: NaN potential")
+		}
+		cells := grid * grid * grid / 8
+		var m suites.Mix
+		m.Add(isa.FP32, float64(cells*atoms*9)).
+			Add(isa.SFU, float64(pairs)).
+			Add(isa.INT, float64(cells*atoms*2)).
+			Add(isa.LoadGlobal, float64(cells*2)).
+			Add(isa.LoadConst, float64(cells*atoms/4)).
+			Add(isa.StoreGlobal, float64(cells)).
+			Add(isa.Branch, float64(cells*atoms))
+		e.Launch("cutcp_cuda_kernel", cells, &m, []suites.Stream{
+			suites.Broadcast("atoms", uint64(atoms*16), uint64(cells*atoms/8)),
+			suites.Write("lattice", uint64(cells*4)),
+		}, 0.2)
+		return nil
+	})
+}
+
+// histo: a saturating histogram over an image — memory/atomic bound.
+func histo() *suites.Bench {
+	return bench("Parboil histogramming", "pb-histo", 40, func(e *suites.Emitter) error {
+		r := rand.New(rand.NewSource(11))
+		const n = 1 << 16
+		const bins = 4096
+		h := make([]uint32, bins)
+		for i := 0; i < n; i++ {
+			// Gaussian-ish histogram like the Parboil silicon-wafer input.
+			b := int(math.Abs(r.NormFloat64()) * bins / 4)
+			if b >= bins {
+				b = bins - 1
+			}
+			if h[b] < 255 {
+				h[b]++
+			}
+		}
+		var m suites.Mix
+		m.Add(isa.INT, n*5).Add(isa.LoadGlobal, n).
+			Add(isa.StoreGlobal, n).Add(isa.Branch, n)
+		e.Launch("histo_main_kernel", n, &m, []suites.Stream{
+			suites.Read("img", n*4, 1),
+			suites.Scatter("bins", bins*4, n*4),
+		}, 0.25)
+		var f suites.Mix
+		f.Add(isa.INT, bins*3).Add(isa.LoadGlobal, bins).Add(isa.StoreGlobal, bins)
+		e.Launch("histo_final_kernel", bins, &f, []suites.Stream{
+			suites.Read("partial", bins*4, 1), suites.Write("out", bins*4),
+		}, 0)
+		_ = h
+		return nil
+	})
+}
+
+// lbm: a lattice-Boltzmann stream-and-collide step — strongly
+// memory-intensive.
+func lbm() *suites.Bench {
+	return bench("Parboil lattice-Boltzmann", "pb-lbm", 48, func(e *suites.Emitter) error {
+		const n = 20 // n^3 cells, 19 distributions
+		const q = 19
+		cells := n * n * n
+		src := make([]float64, cells*q)
+		dst := make([]float64, cells*q)
+		for i := range src {
+			src[i] = 1.0 / q
+		}
+		for step := 0; step < 4; step++ {
+			for c := 0; c < cells; c++ {
+				var rho float64
+				for k := 0; k < q; k++ {
+					rho += src[c*q+k]
+				}
+				for k := 0; k < q; k++ {
+					eq := rho / q
+					dst[c*q+k] = src[c*q+k] + 0.6*(eq-src[c*q+k])
+				}
+			}
+			src, dst = dst, src
+			bytes := uint64(cells * q * 8)
+			var m suites.Mix
+			m.Add(isa.FP32, float64(cells*q*6)).
+				Add(isa.INT, float64(cells*q)).
+				Add(isa.LoadGlobal, float64(cells*q)).
+				Add(isa.StoreGlobal, float64(cells*q))
+			e.Launch("performStreamCollide_kernel", cells, &m, []suites.Stream{
+				suites.Read("srcGrid", bytes, 1),
+				suites.Write("dstGrid", bytes),
+			}, 0.05)
+		}
+		return nil
+	})
+}
+
+// mriGridding: scattering k-space samples onto a Cartesian grid.
+func mriGridding() *suites.Bench {
+	return bench("Parboil MRI gridding", "pb-mri-gridding", 32, func(e *suites.Emitter) error {
+		r := rand.New(rand.NewSource(12))
+		const samples = 1 << 14
+		const grid = 32
+		g := make([]float64, grid*grid*grid)
+		writes := 0
+		for i := 0; i < samples; i++ {
+			x, y, z := r.Intn(grid), r.Intn(grid), r.Intn(grid)
+			// Kaiser-Bessel window over a 2^3 neighborhood.
+			for dx := 0; dx < 2; dx++ {
+				for dy := 0; dy < 2; dy++ {
+					for dz := 0; dz < 2; dz++ {
+						gx, gy, gz := (x+dx)%grid, (y+dy)%grid, (z+dz)%grid
+						g[(gx*grid+gy)*grid+gz] += 0.125
+						writes++
+					}
+				}
+			}
+		}
+		var m suites.Mix
+		m.Add(isa.FP32, float64(writes*8)).Add(isa.SFU, float64(samples*2)).
+			Add(isa.INT, float64(writes*3)).
+			Add(isa.LoadGlobal, float64(samples*2)).
+			Add(isa.StoreGlobal, float64(writes))
+		e.Launch("gridding_GPU_kernel", samples, &m, []suites.Stream{
+			suites.Read("samples", samples*16, 1),
+			suites.Scatter("grid", uint64(grid*grid*grid*8), uint64(writes*8)),
+		}, 0.15)
+		return nil
+	})
+}
+
+// mriQ: computing the Q matrix for non-Cartesian MRI — famously
+// compute-intensive (sin/cos heavy).
+func mriQ() *suites.Bench {
+	return bench("Parboil MRI Q", "pb-mri-q", 48, func(e *suites.Emitter) error {
+		r := rand.New(rand.NewSource(13))
+		const voxels, ksp = 2048, 512
+		kx := make([]float64, ksp)
+		for i := range kx {
+			kx[i] = r.Float64()
+		}
+		var acc float64
+		for v := 0; v < voxels; v++ {
+			x := float64(v) / voxels
+			for k := 0; k < ksp; k++ {
+				acc += math.Cos(2 * math.Pi * kx[k] * x)
+			}
+		}
+		_ = acc
+		var m suites.Mix
+		m.Add(isa.FP32, float64(voxels*ksp*5)).
+			Add(isa.SFU, float64(voxels*ksp*2)).
+			Add(isa.INT, float64(voxels*ksp)).
+			Add(isa.LoadConst, float64(voxels*ksp/8)).
+			Add(isa.StoreGlobal, float64(voxels))
+		e.Launch("ComputeQ_GPU", voxels, &m, []suites.Stream{
+			suites.Broadcast("kvalues", ksp*12, uint64(voxels*ksp/8)),
+			suites.Write("Q", voxels*8),
+		}, 0)
+		return nil
+	})
+}
+
+// sad: sums of absolute differences for motion estimation.
+func sad() *suites.Bench {
+	return bench("Parboil SAD", "pb-sad", 36, func(e *suites.Emitter) error {
+		r := rand.New(rand.NewSource(14))
+		const w, h = 64, 64
+		cur := make([]uint8, w*h)
+		ref := make([]uint8, w*h)
+		for i := range cur {
+			cur[i], ref[i] = uint8(r.Intn(256)), uint8(r.Intn(256))
+		}
+		blocks := (w / 16) * (h / 16)
+		const searches = 33 * 33
+		var total uint64
+		for b := 0; b < blocks; b++ {
+			for s := 0; s < 8; s++ { // sampled search positions
+				var sad uint64
+				for i := 0; i < 256; i++ {
+					d := int(cur[i]) - int(ref[(i+s)%len(ref)])
+					if d < 0 {
+						d = -d
+					}
+					sad += uint64(d)
+				}
+				total += sad
+			}
+		}
+		_ = total
+		work := float64(blocks * searches * 256)
+		var m suites.Mix
+		m.Add(isa.INT, work*3).
+			Add(isa.LoadGlobal, work/4).
+			Add(isa.LoadShared, work).
+			Add(isa.StoreGlobal, float64(blocks*searches)).
+			Add(isa.Sync, float64(blocks*8))
+		e.Launch("mb_sad_calc", blocks*searches, &m, []suites.Stream{
+			suites.Read("cur_frame", w*h, 16),
+			suites.Read("ref_frame", w*h, 16),
+			suites.Write("sad_out", uint64(blocks*searches*2)),
+		}, 0.1)
+		var m2 suites.Mix
+		m2.Add(isa.INT, float64(blocks*searches*2)).
+			Add(isa.LoadGlobal, float64(blocks*searches)).
+			Add(isa.StoreGlobal, float64(blocks*searches/4))
+		e.Launch("larger_sad_calc_8", blocks*searches/4, &m2, []suites.Stream{
+			suites.Read("sad_in", uint64(blocks*searches*2), 1),
+			suites.Write("sad8", uint64(blocks*searches/2)),
+		}, 0)
+		return nil
+	})
+}
+
+// sgemm: dense matrix multiply — the canonical compute kernel.
+func sgemm() *suites.Bench {
+	return bench("Parboil SGEMM", "pb-sgemm", 64, func(e *suites.Emitter) error {
+		r := rand.New(rand.NewSource(15))
+		const n = 96
+		a := tensor.Randn(r, 1, n, n)
+		b := tensor.Randn(r, 1, n, n)
+		c, err := tensor.MatMul(a, b, false, false)
+		if err != nil {
+			return err
+		}
+		if len(c.Data) != n*n {
+			return fmt.Errorf("sgemm: bad result")
+		}
+		flops := float64(2 * n * n * n)
+		var m suites.Mix
+		m.Add(isa.FP32, flops/2).
+			Add(isa.INT, flops/16).
+			Add(isa.LoadShared, flops/8).
+			Add(isa.StoreShared, flops/32).
+			Add(isa.LoadGlobal, float64(2*n*n)/4).
+			Add(isa.StoreGlobal, float64(n*n)/4).
+			Add(isa.Sync, float64(n*n)/256)
+		e.Launch("mysgemmNT", n*n, &m, []suites.Stream{
+			suites.Read("A", uint64(n*n*4), 8),
+			suites.Read("B", uint64(n*n*4), 8),
+			suites.Write("C", uint64(n*n*4)),
+		}, 0)
+		return nil
+	})
+}
+
+// spmv: sparse matrix-vector multiply in JDS format — memory-bound gathers.
+func spmv() *suites.Bench {
+	return bench("Parboil SpMV", "pb-spmv", 40, func(e *suites.Emitter) error {
+		r := rand.New(rand.NewSource(16))
+		const rows, nnzPerRow = 1 << 13, 16
+		x := make([]float64, rows)
+		y := make([]float64, rows)
+		for i := range x {
+			x[i] = r.Float64()
+		}
+		nnz := 0
+		for i := 0; i < rows; i++ {
+			for k := 0; k < nnzPerRow; k++ {
+				j := r.Intn(rows)
+				y[i] += 0.5 * x[j]
+				nnz++
+			}
+		}
+		var m suites.Mix
+		m.Add(isa.FP32, float64(nnz*2)).
+			Add(isa.INT, float64(nnz*3)).
+			Add(isa.LoadGlobal, float64(nnz*3)).
+			Add(isa.StoreGlobal, rows)
+		e.Launch("spmv_jds_naive", rows, &m, []suites.Stream{
+			suites.Read("vals", uint64(nnz*4), 1),
+			suites.Read("cols", uint64(nnz*4), 1),
+			suites.Gather("x", rows*4, uint64(nnz*4)),
+			suites.Write("y", rows*4),
+		}, 0.15)
+		return nil
+	})
+}
+
+// stencil: a 7-point 3-D Jacobi stencil — memory streaming.
+func stencil() *suites.Bench {
+	return bench("Parboil 7-point stencil", "pb-stencil", 48, func(e *suites.Emitter) error {
+		const n = 32
+		a := make([]float64, n*n*n)
+		b := make([]float64, n*n*n)
+		for i := range a {
+			a[i] = float64(i % 7)
+		}
+		at := func(g []float64, x, y, z int) float64 { return g[(x*n+y)*n+z] }
+		for step := 0; step < 3; step++ {
+			for x := 1; x < n-1; x++ {
+				for y := 1; y < n-1; y++ {
+					for z := 1; z < n-1; z++ {
+						b[(x*n+y)*n+z] = (at(a, x-1, y, z) + at(a, x+1, y, z) +
+							at(a, x, y-1, z) + at(a, x, y+1, z) +
+							at(a, x, y, z-1) + at(a, x, y, z+1) -
+							6*at(a, x, y, z)) * 0.1
+					}
+				}
+			}
+			a, b = b, a
+			cells := float64((n - 2) * (n - 2) * (n - 2))
+			var m suites.Mix
+			m.Add(isa.FP32, cells*8).
+				Add(isa.INT, cells*4).
+				Add(isa.LoadGlobal, cells*7).
+				Add(isa.StoreGlobal, cells)
+			e.Launch("block2D_hybrid_coarsen_x", int(cells), &m, []suites.Stream{
+				suites.Read("Anext", uint64(n*n*n*4), 3),
+				suites.Write("A0", uint64(n*n*n*4)),
+			}, 0)
+		}
+		return nil
+	})
+}
+
+// tpacf: two-point angular correlation — compute-heavy with transcendental
+// work and histogram updates.
+func tpacf() *suites.Bench {
+	return bench("Parboil TPACF", "pb-tpacf", 40, func(e *suites.Emitter) error {
+		r := rand.New(rand.NewSource(17))
+		const pts = 1024
+		type pt struct{ x, y, z float64 }
+		ps := make([]pt, pts)
+		for i := range ps {
+			theta := r.Float64() * math.Pi
+			phi := r.Float64() * 2 * math.Pi
+			ps[i] = pt{math.Sin(theta) * math.Cos(phi), math.Sin(theta) * math.Sin(phi), math.Cos(theta)}
+		}
+		hist := make([]int, 32)
+		for i := 0; i < pts; i++ {
+			for j := i + 1; j < pts; j++ {
+				dot := ps[i].x*ps[j].x + ps[i].y*ps[j].y + ps[i].z*ps[j].z
+				if dot > 1 {
+					dot = 1
+				} else if dot < -1 {
+					dot = -1
+				}
+				bin := int(math.Acos(dot) / math.Pi * 31)
+				hist[bin]++
+			}
+		}
+		pairs := float64(pts * (pts - 1) / 2)
+		var m suites.Mix
+		m.Add(isa.FP32, pairs*8).
+			Add(isa.SFU, pairs).
+			Add(isa.INT, pairs*4).
+			Add(isa.LoadShared, pairs*2).
+			Add(isa.StoreShared, pairs/8).
+			Add(isa.LoadGlobal, pts*3).
+			Add(isa.Sync, pts/4).
+			Add(isa.Branch, pairs)
+		e.Launch("gen_hists", pts, &m, []suites.Stream{
+			suites.Read("points", pts*24, 4),
+			suites.Scatter("histograms", 32*8, uint64(pairs/64)),
+		}, 0.1)
+		return nil
+	})
+}

@@ -1,0 +1,68 @@
+package survey
+
+import "testing"
+
+func TestSeriesAlignment(t *testing.T) {
+	for _, s := range Suites {
+		series, err := Series(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != len(Years) {
+			t.Errorf("%s: %d points for %d years", s, len(series), len(Years))
+		}
+	}
+	if _, err := Series("bogus"); err == nil {
+		t.Error("unknown suite should fail")
+	}
+}
+
+func TestCountAndTotal(t *testing.T) {
+	c, err := Count("Rodinia", 2018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Error("Rodinia 2018 usage should be positive")
+	}
+	if _, err := Count("Rodinia", 1999); err == nil {
+		t.Error("out-of-range year should fail")
+	}
+	if _, err := Count("bogus", 2018); err == nil {
+		t.Error("unknown suite should fail")
+	}
+	if _, err := Total("bogus"); err == nil {
+		t.Error("unknown suite total should fail")
+	}
+}
+
+func TestRankingMatchesPaper(t *testing.T) {
+	r := Ranking()
+	if r[0] != "Rodinia" {
+		t.Errorf("most-used suite = %s, want Rodinia (Fig. 1)", r[0])
+	}
+	if r[1] != "Parboil" {
+		t.Errorf("second suite = %s, want Parboil (Fig. 1)", r[1])
+	}
+	// Totals strictly ordered.
+	prev := 1 << 30
+	for _, s := range r {
+		tot, err := Total(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tot > prev {
+			t.Error("ranking not sorted by total")
+		}
+		prev = tot
+	}
+}
+
+func TestRodiniaGrowthTrend(t *testing.T) {
+	// Usage grows through the decade (the motivation for the survey).
+	early, _ := Count("Rodinia", 2011)
+	late, _ := Count("Rodinia", 2019)
+	if late <= early {
+		t.Errorf("Rodinia usage %d (2011) -> %d (2019): expected growth", early, late)
+	}
+}

@@ -1,0 +1,453 @@
+// Package tensor provides the dense FP32 tensor type and the CPU math
+// routines (GEMM, convolution, pooling, reductions) underlying the neural-
+// network framework in internal/nn. This package is pure computation; kernel
+// emission onto the device model happens one layer up, in internal/nn, with
+// counts derived from the shapes processed here.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major FP32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromData wraps data with a shape; the length must match.
+func FromData(data []float32, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("tensor: %d elements for shape %v", len(data), shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}, nil
+}
+
+// Randn fills a new tensor with N(0, std) samples.
+func Randn(r *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(r.NormFloat64() * std)
+	}
+	return t
+}
+
+// Full returns a new tensor filled with v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Numel returns the number of elements.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// Bytes returns the size in bytes (4 per element).
+func (t *Tensor) Bytes() uint64 { return uint64(len(t.Data)) * 4 }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reshape returns a view with a new shape of equal element count.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		return nil, fmt.Errorf("tensor: reshape %v -> %v", t.Shape, shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}, nil
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero clears the tensor in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// AddScaled accumulates alpha*src into t (shapes must match).
+func (t *Tensor) AddScaled(src *Tensor, alpha float32) error {
+	if len(src.Data) != len(t.Data) {
+		return fmt.Errorf("tensor: addScaled %v += %v", t.Shape, src.Shape)
+	}
+	for i, v := range src.Data {
+		t.Data[i] += alpha * v
+	}
+	return nil
+}
+
+// MatMul computes C = A(M,K) x B(K,N). transA/transB interpret A as (K,M)
+// or B as (N,K) respectively, matching BLAS conventions.
+func MatMul(a, b *Tensor, transA, transB bool) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: matmul wants 2-D, got %v x %v", a.Shape, b.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if transA {
+		m, k = k, m
+	}
+	k2, n := b.Shape[0], b.Shape[1]
+	if transB {
+		k2, n = n, k2
+	}
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: matmul inner dims %d != %d", k, k2)
+	}
+	c := New(m, n)
+	at := func(i, j int) float32 {
+		if transA {
+			return a.Data[j*a.Shape[1]+i]
+		}
+		return a.Data[i*a.Shape[1]+j]
+	}
+	bt := func(i, j int) float32 {
+		if transB {
+			return b.Data[j*b.Shape[1]+i]
+		}
+		return b.Data[i*b.Shape[1]+j]
+	}
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			av := at(i, kk)
+			if av == 0 {
+				continue
+			}
+			row := c.Data[i*n : (i+1)*n]
+			if !transB {
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j := range row {
+					row[j] += av * brow[j]
+				}
+			} else {
+				for j := 0; j < n; j++ {
+					row[j] += av * bt(kk, j)
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// ConvShape computes the output spatial size of a convolution.
+func ConvShape(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Conv2D computes a NCHW convolution: x (N,C,H,W) * w (F,C,KH,KW) + b (F).
+// b may be nil.
+func Conv2D(x, w, b *Tensor, stride, pad int) (*Tensor, error) {
+	if len(x.Shape) != 4 || len(w.Shape) != 4 {
+		return nil, fmt.Errorf("tensor: conv2d wants 4-D, got %v * %v", x.Shape, w.Shape)
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, cw, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if c != cw {
+		return nil, fmt.Errorf("tensor: conv2d channels %d != %d", c, cw)
+	}
+	oh, ow := ConvShape(h, kh, stride, pad), ConvShape(wd, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: conv2d empty output for input %dx%d kernel %dx%d", h, wd, kh, kw)
+	}
+	out := New(n, f, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			bias := float32(0)
+			if b != nil {
+				bias = b.Data[fi]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := bias
+					for ci := 0; ci < c; ci++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*stride + ky - pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*stride + kx - pad
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								sum += x.Data[((ni*c+ci)*h+iy)*wd+ix] *
+									w.Data[((fi*cw+ci)*kh+ky)*kw+kx]
+							}
+						}
+					}
+					out.Data[((ni*f+fi)*oh+oy)*ow+ox] = sum
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Conv2DGrads computes input and weight gradients of Conv2D.
+func Conv2DGrads(x, w, dy *Tensor, stride, pad int) (dx, dw, db *Tensor, err error) {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, _, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := dy.Shape[2], dy.Shape[3]
+	dx = New(n, c, h, wd)
+	dw = New(f, c, kh, kw)
+	db = New(f)
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dy.Data[((ni*f+fi)*oh+oy)*ow+ox]
+					if g == 0 {
+						continue
+					}
+					db.Data[fi] += g
+					for ci := 0; ci < c; ci++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*stride + ky - pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*stride + kx - pad
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								xi := ((ni*c+ci)*h+iy)*wd + ix
+								wi := ((fi*c+ci)*kh+ky)*kw + kx
+								dx.Data[xi] += g * w.Data[wi]
+								dw.Data[wi] += g * x.Data[xi]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, dw, db, nil
+}
+
+// ConvTranspose2D computes a NCHW transposed convolution (deconvolution):
+// x (N,C,H,W), w (C,F,KH,KW), stride, pad. Output spatial size is
+// (H-1)*stride - 2*pad + KH.
+func ConvTranspose2D(x, w, b *Tensor, stride, pad int) (*Tensor, error) {
+	if len(x.Shape) != 4 || len(w.Shape) != 4 {
+		return nil, fmt.Errorf("tensor: convT wants 4-D, got %v * %v", x.Shape, w.Shape)
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	cw, f, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if c != cw {
+		return nil, fmt.Errorf("tensor: convT channels %d != %d", c, cw)
+	}
+	oh := (h-1)*stride - 2*pad + kh
+	ow := (wd-1)*stride - 2*pad + kw
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("tensor: convT empty output")
+	}
+	out := New(n, f, oh, ow)
+	if b != nil {
+		for ni := 0; ni < n; ni++ {
+			for fi := 0; fi < f; fi++ {
+				base := (ni*f + fi) * oh * ow
+				for i := 0; i < oh*ow; i++ {
+					out.Data[base+i] = b.Data[fi]
+				}
+			}
+		}
+	}
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for iy := 0; iy < h; iy++ {
+				for ix := 0; ix < wd; ix++ {
+					xv := x.Data[((ni*c+ci)*h+iy)*wd+ix]
+					if xv == 0 {
+						continue
+					}
+					for fi := 0; fi < f; fi++ {
+						for ky := 0; ky < kh; ky++ {
+							oy := iy*stride + ky - pad
+							if oy < 0 || oy >= oh {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ox := ix*stride + kx - pad
+								if ox < 0 || ox >= ow {
+									continue
+								}
+								out.Data[((ni*f+fi)*oh+oy)*ow+ox] +=
+									xv * w.Data[((ci*f+fi)*kh+ky)*kw+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ConvTranspose2DGrads computes the gradients of ConvTranspose2D.
+func ConvTranspose2DGrads(x, w, dy *Tensor, stride, pad int) (dx, dw, db *Tensor, err error) {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	_, f, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	oh, ow := dy.Shape[2], dy.Shape[3]
+	dx = New(n, c, h, wd)
+	dw = New(c, f, kh, kw)
+	db = New(f)
+	for ni := 0; ni < n; ni++ {
+		for fi := 0; fi < f; fi++ {
+			base := (ni*f + fi) * oh * ow
+			for i := 0; i < oh*ow; i++ {
+				db.Data[fi] += dy.Data[base+i]
+			}
+		}
+	}
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for iy := 0; iy < h; iy++ {
+				for ix := 0; ix < wd; ix++ {
+					xi := ((ni*c+ci)*h+iy)*wd + ix
+					xv := x.Data[xi]
+					for fi := 0; fi < f; fi++ {
+						for ky := 0; ky < kh; ky++ {
+							oy := iy*stride + ky - pad
+							if oy < 0 || oy >= oh {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ox := ix*stride + kx - pad
+								if ox < 0 || ox >= ow {
+									continue
+								}
+								g := dy.Data[((ni*f+fi)*oh+oy)*ow+ox]
+								wi := ((ci*f+fi)*kh+ky)*kw + kx
+								dx.Data[xi] += g * w.Data[wi]
+								dw.Data[wi] += g * xv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, dw, db, nil
+}
+
+// MaxPool2D computes 2x2-style max pooling with the given window and stride,
+// returning the output and the argmax indices (into the input) for backward.
+func MaxPool2D(x *Tensor, window, stride int) (*Tensor, []int32, error) {
+	if len(x.Shape) != 4 {
+		return nil, nil, fmt.Errorf("tensor: maxpool wants 4-D, got %v", x.Shape)
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := (h-window)/stride+1, (w-window)/stride+1
+	if oh <= 0 || ow <= 0 {
+		return nil, nil, fmt.Errorf("tensor: maxpool empty output")
+	}
+	out := New(n, c, oh, ow)
+	arg := make([]int32, out.Numel())
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := 0
+					for ky := 0; ky < window; ky++ {
+						for kx := 0; kx < window; kx++ {
+							idx := ((ni*c+ci)*h+oy*stride+ky)*w + ox*stride + kx
+							if x.Data[idx] > best {
+								best, bestIdx = x.Data[idx], idx
+							}
+						}
+					}
+					oi := ((ni*c+ci)*oh+oy)*ow + ox
+					out.Data[oi] = best
+					arg[oi] = int32(bestIdx)
+				}
+			}
+		}
+	}
+	return out, arg, nil
+}
+
+// Softmax computes row-wise softmax of a 2-D tensor.
+func Softmax(x *Tensor) (*Tensor, error) {
+	if len(x.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: softmax wants 2-D, got %v", x.Shape)
+	}
+	m, n := x.Shape[0], x.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := x.Data[i*n : (i+1)*n]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float32
+		o := out.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - max)))
+			o[j] = e
+			sum += e
+		}
+		for j := range o {
+			o[j] /= sum
+		}
+	}
+	return out, nil
+}
+
+// Gram computes the CxC Gram matrix of a (C, HW) feature map, the style
+// statistic of the Neural Style workload.
+func Gram(features *Tensor) (*Tensor, error) {
+	g, err := MatMul(features, features, false, true)
+	if err != nil {
+		return nil, err
+	}
+	norm := float32(features.Shape[0] * features.Shape[1])
+	for i := range g.Data {
+		g.Data[i] /= norm
+	}
+	return g, nil
+}

@@ -1,0 +1,126 @@
+// Package trace implements the paper's stated future work: exporting
+// Cactus kernel traces in a format consumable by GPU simulators, "so that
+// researchers can simulate Cactus workloads without requiring access to a
+// real GPU device". A trace records every kernel launch of a profiled run —
+// geometry, per-class instruction counts, and resolved memory traffic — as
+// line-delimited JSON plus a header, the structure trace-driven simulators
+// (Accel-Sim-style) ingest.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/gpu"
+	"repro/internal/isa"
+	"repro/internal/profiler"
+)
+
+// FormatVersion identifies the trace schema.
+const FormatVersion = 1
+
+// Header opens a trace file.
+type Header struct {
+	Format   string  `json:"format"`
+	Version  int     `json:"version"`
+	Workload string  `json:"workload"`
+	Device   string  `json:"device"`
+	PeakGIPS float64 `json:"peak_gips"`
+	PeakGTXN float64 `json:"peak_gtxn"`
+	Launches int     `json:"launches"`
+}
+
+// Launch is one kernel-launch record.
+type Launch struct {
+	Seq    int    `json:"seq"`
+	Kernel string `json:"kernel"`
+	Grid   [3]int `json:"grid"`
+	Block  [3]int `json:"block"`
+	// Insts maps instruction-class mnemonics to warp-instruction counts.
+	Insts map[string]uint64 `json:"insts"`
+	// Memory traffic in 32-byte sectors.
+	Sectors  uint64 `json:"sectors"`
+	L1Hits   uint64 `json:"l1_hits"`
+	L2Hits   uint64 `json:"l2_hits"`
+	DRAMTxns uint64 `json:"dram_txns"`
+	// Modeled duration in nanoseconds.
+	TimeNs float64 `json:"time_ns"`
+}
+
+// Export writes the session's launches for the named workload to w.
+func Export(w io.Writer, workload string, cfg gpu.DeviceConfig, sess *profiler.Session) error {
+	launches := sess.Launches()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(Header{
+		Format: "cactus-trace", Version: FormatVersion,
+		Workload: workload, Device: cfg.Name,
+		PeakGIPS: cfg.PeakGIPS(), PeakGTXN: cfg.PeakGTXN(),
+		Launches: len(launches),
+	}); err != nil {
+		return err
+	}
+	for i, l := range launches {
+		rec := Launch{
+			Seq:     i,
+			Kernel:  l.Name,
+			Grid:    [3]int{l.Grid.X, l.Grid.Y, l.Grid.Z},
+			Block:   [3]int{l.Block.X, l.Block.Y, l.Block.Z},
+			Insts:   map[string]uint64{},
+			Sectors: l.Traffic.Sectors, L1Hits: l.Traffic.L1Hits,
+			L2Hits: l.Traffic.L2Hits, DRAMTxns: l.Traffic.DRAMTxns,
+			TimeNs: l.Time * 1e9,
+		}
+		for _, c := range isa.Classes() {
+			if n := l.Mix.Count(c); n > 0 {
+				rec.Insts[c.String()] = n
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace previously written by Export.
+func Read(r io.Reader) (Header, []Launch, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return h, nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if h.Format != "cactus-trace" {
+		return h, nil, fmt.Errorf("trace: unknown format %q", h.Format)
+	}
+	if h.Version != FormatVersion {
+		return h, nil, fmt.Errorf("trace: version %d, want %d", h.Version, FormatVersion)
+	}
+	var out []Launch
+	for {
+		var l Launch
+		if err := dec.Decode(&l); err == io.EOF {
+			break
+		} else if err != nil {
+			return h, nil, fmt.Errorf("trace: reading launch %d: %w", len(out), err)
+		}
+		out = append(out, l)
+	}
+	if h.Launches != len(out) {
+		return h, nil, fmt.Errorf("trace: header declares %d launches, read %d", h.Launches, len(out))
+	}
+	return h, out, nil
+}
+
+// TotalWarpInsts sums the instruction counts of parsed launches.
+func TotalWarpInsts(launches []Launch) uint64 {
+	var t uint64
+	for _, l := range launches {
+		for _, n := range l.Insts {
+			t += n
+		}
+	}
+	return t
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/graphx"
+	"repro/internal/profiler"
+)
+
+func TestExportReadRoundTrip(t *testing.T) {
+	cfg := gpu.RTX3080()
+	dev, err := gpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := profiler.NewSession(dev)
+	g, err := graphx.RoadGrid(32, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graphx.GunrockBFS(g, 0, graphx.BFSConfig{}, sess); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Export(&buf, "GRU-mini", cfg, sess); err != nil {
+		t.Fatal(err)
+	}
+	h, launches, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Workload != "GRU-mini" || h.Device != cfg.Name {
+		t.Errorf("header %+v", h)
+	}
+	if h.PeakGIPS != cfg.PeakGIPS() {
+		t.Error("header roofs")
+	}
+	if len(launches) != sess.LaunchCount() {
+		t.Fatalf("round trip %d launches, want %d", len(launches), sess.LaunchCount())
+	}
+	// Sequence numbers and instruction totals preserved.
+	for i, l := range launches {
+		if l.Seq != i {
+			t.Fatalf("launch %d has seq %d", i, l.Seq)
+		}
+		if l.Kernel == "" || l.TimeNs <= 0 {
+			t.Fatalf("launch %d incomplete: %+v", i, l)
+		}
+	}
+	if got := TotalWarpInsts(launches); got != sess.TotalWarpInstructions() {
+		t.Errorf("trace insts %d, session %d", got, sess.TotalWarpInstructions())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, _, err := Read(strings.NewReader(`{"format":"other","version":1}`)); err == nil {
+		t.Error("wrong format should fail")
+	}
+	if _, _, err := Read(strings.NewReader(`{"format":"cactus-trace","version":99}`)); err == nil {
+		t.Error("wrong version should fail")
+	}
+	// Truncated: header declares launches that never arrive.
+	if _, _, err := Read(strings.NewReader(`{"format":"cactus-trace","version":1,"launches":3}`)); err == nil {
+		t.Error("truncated trace should fail")
+	}
+}
