@@ -39,7 +39,9 @@ func studies(b *testing.B) (*core.Study, *core.Study, *core.Study) {
 			fullStudyErr = err
 			return
 		}
-		fullStudy, fullStudyErr = core.NewStudy(gpu.RTX3080(), cat.All()...)
+		// One worker per CPU; assembly order is deterministic, so every
+		// figure below is byte-identical to a serial characterization.
+		fullStudy, fullStudyErr = core.NewStudyWith(gpu.RTX3080(), core.StudyOptions{}, cat.All()...)
 		if fullStudyErr != nil {
 			return
 		}
@@ -251,6 +253,56 @@ func BenchmarkFigure9(b *testing.B) {
 	b.ReportMetric(float64(ca.ClustersCoveredBy(workloads.Cactus)), "cactus_clusters_covered")
 	b.ReportMetric(float64(len(ca.ClustersDominatedBy(workloads.Cactus))), "cactus_clusters_dominated")
 	b.ReportMetric(float64(len(obs)), "dominant_kernels")
+}
+
+// --- Study construction ------------------------------------------------------
+//
+// The benchmarks below time the characterization step itself — the cost
+// every `cactus figure/table/all` pays before rendering — serially, on a
+// worker pool, and against a warm profile cache.
+
+// BenchmarkStudySerial characterizes the ten Cactus workloads one at a
+// time: the pre-PR baseline path.
+func BenchmarkStudySerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewStudy(gpu.RTX3080(), core.CactusWorkloads()...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStudyParallel characterizes the same workloads on 8 workers.
+func BenchmarkStudyParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := core.NewStudyWith(gpu.RTX3080(), core.StudyOptions{Workers: 8}, core.CactusWorkloads()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStudyWarmCache characterizes the full 42-workload catalog (the
+// Figure 8/9 study) against a primed profile cache: the steady-state cost
+// of every repeated `cactus figure N`.
+func BenchmarkStudyWarmCache(b *testing.B) {
+	cat, err := core.DefaultCatalog()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache, err := core.OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.StudyOptions{Workers: 8, Cache: cache}
+	if _, err := core.NewStudyWith(gpu.RTX3080(), opts, cat.All()...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewStudyWith(gpu.RTX3080(), opts, cat.All()...); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablations ---------------------------------------------------------------

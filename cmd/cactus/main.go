@@ -18,6 +18,9 @@
 //
 //	-device rtx3080|gtx1080   device model (default rtx3080)
 //	-clusters K               cluster count for figure 9 (default 6)
+//	-j N                      concurrent characterization workers (default NumCPU)
+//	-cache DIR                profile cache directory (default per-user cache dir)
+//	-no-cache                 disable the on-disk profile cache
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 
 	"repro/internal/core"
@@ -36,22 +40,25 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cactus:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cactus", flag.ContinueOnError)
 	deviceName := fs.String("device", "rtx3080", "device model: rtx3080 or gtx1080")
 	clusters := fs.Int("clusters", 6, "cluster count for figure 9")
+	jobs := fs.Int("j", runtime.NumCPU(), "concurrent characterization workers")
+	cacheDir := fs.String("cache", "", "profile cache directory (default per-user cache dir)")
+	noCache := fs.Bool("no-cache", false, "disable the on-disk profile cache")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (list, device, run, profile, export, figure, table, all)")
+		return fmt.Errorf("missing command (list, device, run, profile, export, compare, figure, table, all)")
 	}
 
 	var cfg gpu.DeviceConfig
@@ -64,11 +71,27 @@ func run(args []string) error {
 		return fmt.Errorf("unknown device %q", *deviceName)
 	}
 
+	opts := core.StudyOptions{Workers: *jobs}
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			d, err := core.DefaultCacheDir()
+			if err != nil {
+				return fmt.Errorf("no default cache dir (pass -cache DIR or -no-cache): %w", err)
+			}
+			dir = d
+		}
+		cache, err := core.OpenCache(dir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+	}
+
 	cat, err := core.DefaultCatalog()
 	if err != nil {
 		return err
 	}
-	out := os.Stdout
 
 	switch rest[0] {
 	case "list":
@@ -175,7 +198,7 @@ func run(args []string) error {
 		if n == 1 {
 			return core.Figure1(out)
 		}
-		st, err := studyFor(cat, cfg, n)
+		st, err := studyFor(cat, cfg, opts, n)
 		if err != nil {
 			return err
 		}
@@ -205,7 +228,7 @@ func run(args []string) error {
 		}
 		switch rest[1] {
 		case "1":
-			st, err := core.NewStudy(cfg, core.CactusWorkloads()...)
+			st, err := core.NewStudyWith(cfg, opts, core.CactusWorkloads()...)
 			if err != nil {
 				return err
 			}
@@ -233,11 +256,11 @@ func run(args []string) error {
 			}
 			ws = append(ws, w)
 		}
-		a, err := core.NewStudy(gpu.RTX3080(), ws...)
+		a, err := core.NewStudyWith(gpu.RTX3080(), opts, ws...)
 		if err != nil {
 			return err
 		}
-		bSt, err := core.NewStudy(gpu.GTX1080(), ws...)
+		bSt, err := core.NewStudyWith(gpu.GTX1080(), opts, ws...)
 		if err != nil {
 			return err
 		}
@@ -256,7 +279,7 @@ func run(args []string) error {
 		return tbl.Render(out)
 
 	case "all":
-		st, err := core.NewStudy(cfg, cat.All()...)
+		st, err := core.NewStudyWith(cfg, opts, cat.All()...)
 		if err != nil {
 			return err
 		}
@@ -295,14 +318,14 @@ func run(args []string) error {
 }
 
 // studyFor builds the smallest study each figure needs.
-func studyFor(cat *workloads.Catalog, cfg gpu.DeviceConfig, figure int) (*core.Study, error) {
+func studyFor(cat *workloads.Catalog, cfg gpu.DeviceConfig, opts core.StudyOptions, figure int) (*core.Study, error) {
 	switch figure {
 	case 2, 4:
-		return core.NewStudy(cfg, core.BaselineWorkloads()...)
+		return core.NewStudyWith(cfg, opts, core.BaselineWorkloads()...)
 	case 3, 5, 6, 7:
-		return core.NewStudy(cfg, core.CactusWorkloads()...)
+		return core.NewStudyWith(cfg, opts, core.CactusWorkloads()...)
 	default: // 8, 9 compare all suites
-		return core.NewStudy(cfg, cat.All()...)
+		return core.NewStudyWith(cfg, opts, cat.All()...)
 	}
 }
 

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunArgValidation(t *testing.T) {
 	cases := []struct {
@@ -20,8 +25,25 @@ func TestRunArgValidation(t *testing.T) {
 		{"compare without workload", []string{"compare"}},
 	}
 	for _, tc := range cases {
-		if err := run(tc.args); err == nil {
+		if err := run(tc.args, io.Discard); err == nil {
 			t.Errorf("%s: expected an error for %v", tc.name, tc.args)
+		}
+	}
+}
+
+// TestUsageListsEveryCommand — the missing-command error is the CLI's only
+// usage listing, so every command must appear in it (compare used to be
+// omitted).
+func TestUsageListsEveryCommand(t *testing.T) {
+	err := run(nil, io.Discard)
+	if err == nil {
+		t.Fatal("expected a missing-command error")
+	}
+	for _, cmd := range []string{
+		"list", "device", "run", "profile", "export", "compare", "figure", "table", "all",
+	} {
+		if !strings.Contains(err.Error(), cmd) {
+			t.Errorf("usage error %q omits command %q", err, cmd)
 		}
 	}
 }
@@ -36,8 +58,39 @@ func TestRunFastCommands(t *testing.T) {
 		{"table", "4"},
 		{"figure", "1"},
 	} {
-		if err := run(args); err != nil {
+		if err := run(args, io.Discard); err != nil {
 			t.Errorf("%v: %v", args, err)
 		}
+	}
+}
+
+// TestFigureCacheAndWorkers runs the same figure cold (populating a fresh
+// cache, in parallel) and warm (serving from it, serially) and requires
+// byte-identical output — the end-to-end contract of the -j/-cache flags.
+func TestFigureCacheAndWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes the baseline workloads")
+	}
+	dir := t.TempDir()
+	var cold, warm bytes.Buffer
+	if err := run([]string{"-cache", dir, "-j", "4", "figure", "2"}, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-cache", dir, "-j", "1", "figure", "2"}, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Len() == 0 {
+		t.Fatal("figure 2 produced no output")
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Error("warm-cache figure 2 output differs from cold run")
+	}
+}
+
+// TestNoCacheFlag — -no-cache must keep working without touching any cache
+// directory.
+func TestNoCacheFlag(t *testing.T) {
+	if err := run([]string{"-no-cache", "figure", "1"}, io.Discard); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -30,7 +30,9 @@ func main() {
 		}
 		ws = append(ws, w)
 	}
-	st, err := core.NewStudy(gpu.RTX3080(), ws...)
+	// Characterize on every CPU; profiles come back in ws order, so the
+	// printed comparison is identical to a serial run.
+	st, err := core.NewStudyWith(gpu.RTX3080(), core.StudyOptions{}, ws...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,182 @@
+// Profile cache: characterizing a workload on the device model is the one
+// expensive step every figure and table derives from, so profiles are
+// memoized on disk. Entries are keyed by (workload abbreviation, device
+// configuration fingerprint, schema version): changing the device config,
+// the metric vector layout, or any workload definition must bump
+// CacheSchemaVersion so stale entries miss instead of misread.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/workloads"
+)
+
+// CacheSchemaVersion identifies the on-disk entry layout and the catalog
+// generation that produced it. Bump on any change to Profile, the
+// profiler metric set, or workload definitions.
+const CacheSchemaVersion = 1
+
+// ProfileCache is an on-disk store of workload profiles. One entry is one
+// JSON file; writes go through a temp file plus rename, so concurrent
+// studies sharing a cache directory never observe partial entries.
+type ProfileCache struct {
+	dir string
+}
+
+// DefaultCacheDir returns the per-user cactus profile cache directory.
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(base, "cactus", "profiles"), nil
+}
+
+// OpenCache opens the profile cache rooted at dir, creating it if needed.
+func OpenCache(dir string) (*ProfileCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("core: empty profile cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: opening profile cache: %w", err)
+	}
+	return &ProfileCache{dir: dir}, nil
+}
+
+// Dir returns the cache root directory.
+func (c *ProfileCache) Dir() string { return c.dir }
+
+// cachedKernel serializes one KernelChar. Metrics round-trips exactly:
+// encoding/json emits float64 at full round-trip precision, so reloaded
+// vectors are bit-identical and downstream output stays byte-identical.
+type cachedKernel struct {
+	Name        string          `json:"name"`
+	Invocations int             `json:"invocations"`
+	TimeShare   float64         `json:"time_share"`
+	InstCount   float64         `json:"inst_count"`
+	Metrics     profiler.Vector `json:"metrics"`
+}
+
+type cachedProfile struct {
+	Schema         int            `json:"schema"`
+	Abbr           string         `json:"abbr"`
+	Device         string         `json:"device"`
+	TotalTime      float64        `json:"total_time"`
+	TotalWarpInsts uint64         `json:"total_warp_insts"`
+	AggII          float64        `json:"agg_ii"`
+	AggGIPS        float64        `json:"agg_gips"`
+	Kernels        []cachedKernel `json:"kernels"`
+}
+
+// path returns the entry file for (abbr, cfg). The whole device
+// configuration is fingerprinted, not just its name, so tweaking any model
+// parameter invalidates the entry.
+func (c *ProfileCache) path(abbr string, cfg gpu.DeviceConfig) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|%+v", CacheSchemaVersion, cfg)))
+	name := fmt.Sprintf("%s-%s-v%d.json",
+		sanitizeKey(abbr), hex.EncodeToString(sum[:8]), CacheSchemaVersion)
+	return filepath.Join(c.dir, name)
+}
+
+// sanitizeKey keeps abbreviations filesystem-safe.
+func sanitizeKey(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// Load returns w's cached profile for cfg, or ok=false on a miss. Any
+// unreadable, corrupt, or mismatched entry is treated as a miss: the
+// caller re-simulates and overwrites it.
+func (c *ProfileCache) Load(w workloads.Workload, cfg gpu.DeviceConfig) (*Profile, bool) {
+	data, err := os.ReadFile(c.path(w.Abbr(), cfg))
+	if err != nil {
+		return nil, false
+	}
+	var e cachedProfile
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Schema != CacheSchemaVersion || e.Abbr != w.Abbr() ||
+		e.Device != cfg.Name || len(e.Kernels) == 0 || e.TotalTime <= 0 {
+		return nil, false
+	}
+	p := &Profile{
+		Workload:       w,
+		TotalTime:      e.TotalTime,
+		TotalWarpInsts: e.TotalWarpInsts,
+		AggII:          e.AggII,
+		AggGIPS:        e.AggGIPS,
+		Kernels:        make([]KernelChar, len(e.Kernels)),
+	}
+	for i, k := range e.Kernels {
+		p.Kernels[i] = KernelChar{
+			Name:        k.Name,
+			Invocations: k.Invocations,
+			TimeShare:   k.TimeShare,
+			Metrics:     k.Metrics,
+			instCount:   k.InstCount,
+		}
+	}
+	return p, true
+}
+
+// Store writes p's cache entry for cfg atomically.
+func (c *ProfileCache) Store(p *Profile, cfg gpu.DeviceConfig) error {
+	e := cachedProfile{
+		Schema:         CacheSchemaVersion,
+		Abbr:           p.Abbr(),
+		Device:         cfg.Name,
+		TotalTime:      p.TotalTime,
+		TotalWarpInsts: p.TotalWarpInsts,
+		AggII:          p.AggII,
+		AggGIPS:        p.AggGIPS,
+		Kernels:        make([]cachedKernel, len(p.Kernels)),
+	}
+	for i, k := range p.Kernels {
+		e.Kernels[i] = cachedKernel{
+			Name:        k.Name,
+			Invocations: k.Invocations,
+			TimeShare:   k.TimeShare,
+			InstCount:   k.instCount,
+			Metrics:     k.Metrics,
+		}
+	}
+	data, err := json.MarshalIndent(&e, "", "\t")
+	if err != nil {
+		return err
+	}
+	final := c.path(p.Abbr(), cfg)
+	tmp, err := os.CreateTemp(c.dir, "."+filepath.Base(final)+".*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

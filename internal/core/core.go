@@ -10,6 +10,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/gpu"
 	"repro/internal/profiler"
@@ -170,18 +172,114 @@ type Study struct {
 	byAbbr   map[string]*Profile
 }
 
-// NewStudy characterizes all the given workloads on cfg.
+// StudyOptions configures how NewStudyWith characterizes its workloads.
+// The zero value means: one worker per CPU, no profile cache.
+type StudyOptions struct {
+	// Workers is the number of goroutines characterizing workloads
+	// concurrently. Zero or negative selects runtime.NumCPU(). Each worker
+	// builds its own gpu.Device and profiler.Session, so no simulator state
+	// is shared across goroutines, and Study.Profiles is assembled in the
+	// caller's workload order — the resulting figures and tables are
+	// byte-identical to a serial run.
+	Workers int
+	// Cache, when non-nil, is consulted before simulating a workload and
+	// updated after each miss, so repeated studies skip re-simulation.
+	Cache *ProfileCache
+}
+
+// NewStudy characterizes all the given workloads on cfg, serially and
+// without a cache — the reference path NewStudyWith must match byte for
+// byte.
 func NewStudy(cfg gpu.DeviceConfig, ws ...workloads.Workload) (*Study, error) {
-	st := &Study{Device: cfg, byAbbr: make(map[string]*Profile)}
-	for _, w := range ws {
-		p, err := Characterize(w, cfg)
-		if err != nil {
-			return nil, err
+	return NewStudyWith(cfg, StudyOptions{Workers: 1}, ws...)
+}
+
+// NewStudyWith characterizes all the given workloads on cfg according to
+// opts. On error the first failure observed is returned and the partial
+// study is discarded.
+func NewStudyWith(cfg gpu.DeviceConfig, opts StudyOptions, ws ...workloads.Workload) (*Study, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(ws) {
+		workers = len(ws)
+	}
+	profiles := make([]*Profile, len(ws))
+	if workers <= 1 {
+		for i, w := range ws {
+			p, err := characterizeCached(w, cfg, opts.Cache)
+			if err != nil {
+				return nil, err
+			}
+			profiles[i] = p
 		}
+	} else if err := characterizeAll(profiles, ws, cfg, opts.Cache, workers); err != nil {
+		return nil, err
+	}
+	st := &Study{Device: cfg, byAbbr: make(map[string]*Profile, len(ws))}
+	for _, p := range profiles {
 		st.Profiles = append(st.Profiles, p)
-		st.byAbbr[w.Abbr()] = p
+		st.byAbbr[p.Abbr()] = p
 	}
 	return st, nil
+}
+
+// characterizeAll fans the workloads out over a fixed worker pool, writing
+// each profile into its workload's slot so order is preserved. The first
+// error stops the feed; in-flight characterizations drain before return.
+func characterizeAll(profiles []*Profile, ws []workloads.Workload, cfg gpu.DeviceConfig, cache *ProfileCache, workers int) error {
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	idx := make(chan int)
+	fail := make(chan struct{})
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				p, err := characterizeCached(ws[i], cfg, cache)
+				if err != nil {
+					once.Do(func() { firstErr = err; close(fail) })
+					continue
+				}
+				profiles[i] = p
+			}
+		}()
+	}
+feed:
+	for i := range ws {
+		select {
+		case idx <- i:
+		case <-fail:
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}
+
+// characterizeCached is Characterize behind an optional profile cache.
+func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, cache *ProfileCache) (*Profile, error) {
+	if cache != nil {
+		if p, ok := cache.Load(w, cfg); ok {
+			return p, nil
+		}
+	}
+	p, err := Characterize(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		if err := cache.Store(p, cfg); err != nil {
+			return nil, fmt.Errorf("core: caching %s: %w", w.Abbr(), err)
+		}
+	}
+	return p, nil
 }
 
 // Add appends an already-characterized profile to the study (used to slice

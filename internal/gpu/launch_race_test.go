@@ -1,0 +1,73 @@
+package gpu
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/memsim"
+)
+
+// TestConcurrentLaunchesOneDevice hammers a single shared device from many
+// goroutines, mixing the stream-model path with the trace-replay path (the
+// one that touches the mutex-guarded stateful cache hierarchy), and checks
+// both paths stay deterministic. Run under -race this is the audit for the
+// parallel-study code: workers each own a device, but Launch documents
+// itself as concurrency-safe and this holds it to that.
+func TestConcurrentLaunchesOneDevice(t *testing.T) {
+	d := dev(t)
+
+	var mix isa.Mix
+	mix.Add(isa.FP32, 1<<16)
+	mix.Add(isa.LoadGlobal, 1<<14)
+	modelSpec := KernelSpec{
+		Name: "race_model", Grid: D1(512), Block: D1(256), Mix: mix,
+		Streams: []memsim.Stream{{
+			Name: "s", FootprintBytes: 1 << 20, AccessBytes: 1 << 20,
+			ElemBytes: 4, Pattern: memsim.Coalesced, Partitioned: true,
+		}},
+	}
+	traceSpec := KernelSpec{
+		Name: "race_trace", Grid: D1(512), Block: D1(256), Mix: mix,
+		TraceCoverage: 1,
+		Trace: func(h *memsim.Hierarchy) {
+			for a := uint64(0); a < 1<<18; a += 128 {
+				h.Access(a, false)
+			}
+		},
+	}
+
+	wantModel := d.MustLaunch(modelSpec)
+	wantTrace := d.MustLaunch(traceSpec)
+
+	const goroutines, rounds = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds*2)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, want := range []struct {
+					spec KernelSpec
+					res  LaunchResult
+				}{{modelSpec, wantModel}, {traceSpec, wantTrace}} {
+					got, err := d.Launch(want.spec)
+					if err != nil {
+						errs <- err
+						continue
+					}
+					if got.Time != want.res.Time || got.Traffic != want.res.Traffic {
+						t.Errorf("%s: concurrent launch diverged: time %v vs %v, traffic %+v vs %+v",
+							want.spec.Name, got.Time, want.res.Time, got.Traffic, want.res.Traffic)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

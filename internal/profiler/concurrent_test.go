@@ -1,0 +1,91 @@
+package profiler
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// TestConcurrentLaunchesOneSession records launches into one shared session
+// from many goroutines and checks the aggregation invariants hold: exact
+// launch count, stable kernel aggregation, totals independent of arrival
+// order. Under -race this audits the session mutex for the parallel-study
+// path.
+func TestConcurrentLaunchesOneSession(t *testing.T) {
+	s := session(t)
+	const goroutines, perG = 8, 10
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				name := "even"
+				if g%2 == 1 {
+					name = "odd"
+				}
+				if _, err := s.Launch(spec(name, 1<<16, g%2 == 0)); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := s.LaunchCount(); n != goroutines*perG {
+		t.Fatalf("LaunchCount = %d, want %d", n, goroutines*perG)
+	}
+	kernels := s.Kernels()
+	if len(kernels) != 2 {
+		t.Fatalf("got %d kernels, want 2", len(kernels))
+	}
+	var inv int
+	for _, k := range kernels {
+		inv += k.Invocations
+		if k.Invocations != goroutines*perG/2 {
+			t.Errorf("%s: %d invocations, want %d", k.Name, k.Invocations, goroutines*perG/2)
+		}
+	}
+	if inv != goroutines*perG {
+		t.Errorf("summed invocations = %d, want %d", inv, goroutines*perG)
+	}
+	if s.TotalTime() <= 0 || s.TotalWarpInstructions() == 0 {
+		t.Error("totals should be positive after launches")
+	}
+}
+
+// TestConcurrentSessions runs fully independent sessions in parallel — the
+// exact shape of the parallel study's worker pool, where each worker owns a
+// device and a session — and checks they do not interfere.
+func TestConcurrentSessions(t *testing.T) {
+	const sessions = 8
+	results := make([]float64, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := gpu.New(gpu.RTX3080())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s := NewSession(d)
+			for j := 0; j < 5; j++ {
+				if _, err := s.Launch(spec("k", 1<<16, j%2 == 0)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			results[i] = s.TotalTime()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < sessions; i++ {
+		if results[i] != results[0] {
+			t.Errorf("session %d total time %v differs from session 0's %v",
+				i, results[i], results[0])
+		}
+	}
+}
