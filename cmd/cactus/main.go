@@ -1,6 +1,7 @@
 // Command cactus is the driver for the Cactus reproduction: it lists and
-// runs workloads, prints per-kernel profiles, and regenerates every figure
-// and table of the paper on the device model.
+// runs workloads, prints per-kernel profiles, regenerates every figure and
+// table of the paper on the device model, and exposes the pipeline's
+// telemetry — launch timelines, study counters, and profiling endpoints.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 //	cactus run <abbr> [...]
 //	cactus profile <abbr>
 //	cactus export <abbr> [file]
+//	cactus trace <abbr> [file]
 //	cactus compare <abbr> [...]
 //	cactus figure <1..9>
 //	cactus table <1..4>
@@ -21,44 +23,62 @@
 //	-j N                      concurrent characterization workers (default NumCPU)
 //	-cache DIR                profile cache directory (default per-user cache dir)
 //	-no-cache                 disable the on-disk profile cache
+//	-trace FILE               write a Chrome trace of the whole study to FILE
+//	-v                        per-workload progress and a counters snapshot on stderr
+//	-pprof ADDR               serve net/http/pprof and expvar counters on ADDR
+//
+// `cactus trace <abbr>` records one workload's launch timeline as Chrome
+// trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev):
+// the modeled-GPU-time track lays kernels end to end using modeled
+// durations, and the host track shows what the pipeline did. The -trace
+// flag captures the same thing for every study command (run, figure, table,
+// all), one modeled lane per workload plus one host lane per worker.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/profiler"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "cactus:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("cactus", flag.ContinueOnError)
 	deviceName := fs.String("device", "rtx3080", "device model: rtx3080 or gtx1080")
 	clusters := fs.Int("clusters", 6, "cluster count for figure 9")
 	jobs := fs.Int("j", runtime.NumCPU(), "concurrent characterization workers")
 	cacheDir := fs.String("cache", "", "profile cache directory (default per-user cache dir)")
 	noCache := fs.Bool("no-cache", false, "disable the on-disk profile cache")
+	traceFile := fs.String("trace", "", "write a Chrome trace of the study to this file")
+	verbose := fs.Bool("v", false, "per-workload progress and counters on stderr")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar counters on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (list, device, run, profile, export, compare, figure, table, all)")
+		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, figure, table, all)")
 	}
 
 	var cfg gpu.DeviceConfig
@@ -71,7 +91,35 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown device %q", *deviceName)
 	}
 
-	opts := core.StudyOptions{Workers: *jobs}
+	counters := telemetry.NewCounters()
+	opts := core.StudyOptions{Workers: *jobs, Counters: counters}
+	var rec *telemetry.Recorder
+	if *traceFile != "" {
+		rec = telemetry.NewRecorder()
+		opts.Tracer = rec
+	}
+	if *verbose {
+		opts.Progress = func(p core.WorkloadProgress) {
+			if p.StoreErr != nil {
+				fmt.Fprintf(errOut, "cactus: %s: cache store failed: %v\n", p.Abbr, p.StoreErr)
+			}
+			fmt.Fprintf(errOut, "cactus: %s: %d kernels, modeled %.3f ms, wall %s, cache %s\n",
+				p.Abbr, p.Kernels, p.ModeledTime*1e3,
+				p.Wall.Round(time.Millisecond), p.Cache)
+		}
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer ln.Close()
+		counters.PublishExpvar("cactus")
+		// net/http/pprof and expvar register on the default mux; counters
+		// appear under /debug/vars, profiles under /debug/pprof/.
+		go func() { _ = http.Serve(ln, nil) }()
+		fmt.Fprintf(errOut, "cactus: profiling on http://%s/debug/pprof/ (counters at /debug/vars)\n", ln.Addr())
+	}
 	if !*noCache {
 		dir := *cacheDir
 		if dir == "" {
@@ -93,6 +141,26 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	cmdErr := dispatch(rest, cat, cfg, opts, counters, *clusters, out, errOut)
+	if *verbose {
+		fmt.Fprintln(errOut, "cactus: counters:")
+		if err := counters.WriteText(errOut); err != nil && cmdErr == nil {
+			cmdErr = err
+		}
+	}
+	if rec != nil && cmdErr == nil {
+		if err := writeTraceFile(*traceFile, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "cactus: wrote %d trace events to %s\n", rec.Len(), *traceFile)
+	}
+	return cmdErr
+}
+
+// dispatch executes one CLI command.
+func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
+	opts core.StudyOptions, counters *telemetry.Counters, clusters int,
+	out, errOut io.Writer) error {
 	switch rest[0] {
 	case "list":
 		tbl := report.NewTable("Workloads", "abbr", "suite", "domain", "name")
@@ -109,17 +177,21 @@ func run(args []string, out io.Writer) error {
 		if len(rest) < 2 {
 			return fmt.Errorf("run: need at least one workload abbreviation")
 		}
+		var ws []workloads.Workload
 		for _, abbr := range rest[1:] {
 			w, err := cat.Lookup(abbr)
 			if err != nil {
 				return err
 			}
-			p, err := core.Characterize(w, cfg)
-			if err != nil {
-				return err
-			}
+			ws = append(ws, w)
+		}
+		st, err := core.NewStudyWith(cfg, opts, ws...)
+		if err != nil {
+			return err
+		}
+		for _, p := range st.Profiles {
 			fmt.Fprintf(out, "%s: %d kernels, %.3f ms GPU time, %s warp insts, agg II %.2f, agg GIPS %.1f\n",
-				w.Abbr(), len(p.Kernels), p.TotalTime*1e3,
+				p.Abbr(), len(p.Kernels), p.TotalTime*1e3,
 				fmtCount(p.TotalWarpInsts), p.AggII, p.AggGIPS)
 		}
 		return nil
@@ -141,7 +213,7 @@ func run(args []string, out io.Writer) error {
 		if err := w.Run(sess); err != nil {
 			return err
 		}
-		sink := io.Writer(out)
+		sink := out
 		if len(rest) == 3 {
 			f, err := os.Create(rest[2])
 			if err != nil {
@@ -153,7 +225,45 @@ func run(args []string, out io.Writer) error {
 		if err := trace.Export(sink, w.Abbr(), cfg, sess); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "exported %d launches\n", sess.LaunchCount())
+		fmt.Fprintf(errOut, "exported %d launches\n", sess.LaunchCount())
+		return nil
+
+	case "trace":
+		// The Nsight-Systems analogue: one workload's launch timeline as
+		// Chrome trace-event JSON (chrome://tracing / Perfetto).
+		if len(rest) < 2 || len(rest) > 3 {
+			return fmt.Errorf("trace: usage: trace <abbr> [file]")
+		}
+		w, err := cat.Lookup(rest[1])
+		if err != nil {
+			return err
+		}
+		dev, err := gpu.New(cfg)
+		if err != nil {
+			return err
+		}
+		rec := telemetry.NewRecorder()
+		dev.SetTelemetry(rec, counters)
+		sess := profiler.NewSessionWith(dev, profiler.SessionOptions{
+			Tracer: rec, Label: w.Abbr(),
+		})
+		if err := w.Run(sess); err != nil {
+			return err
+		}
+		sink := out
+		if len(rest) == 3 {
+			f, err := os.Create(rest[2])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sink = f
+		}
+		if err := telemetry.WriteChrome(sink, rec.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "traced %d launches, modeled %.3f ms\n",
+			sess.LaunchCount(), sess.TotalTime()*1e3)
 		return nil
 
 	case "profile":
@@ -218,7 +328,7 @@ func run(args []string, out io.Writer) error {
 		case 8:
 			return core.Figure8(st, out)
 		case 9:
-			return core.Figure9(st, out, *clusters)
+			return core.Figure9(st, out, clusters)
 		}
 		return nil
 
@@ -310,11 +420,24 @@ func run(args []string, out io.Writer) error {
 		if err := core.Figure8(st, out); err != nil {
 			return err
 		}
-		return core.Figure9(st, out, *clusters)
+		return core.Figure9(st, out, clusters)
 
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
+}
+
+// writeTraceFile dumps a recorded study trace as Chrome trace-event JSON.
+func writeTraceFile(path string, rec *telemetry.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChrome(f, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // studyFor builds the smallest study each figure needs.

@@ -2,9 +2,15 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestRunArgValidation(t *testing.T) {
@@ -25,7 +31,7 @@ func TestRunArgValidation(t *testing.T) {
 		{"compare without workload", []string{"compare"}},
 	}
 	for _, tc := range cases {
-		if err := run(tc.args, io.Discard); err == nil {
+		if err := run(tc.args, io.Discard, io.Discard); err == nil {
 			t.Errorf("%s: expected an error for %v", tc.name, tc.args)
 		}
 	}
@@ -35,12 +41,12 @@ func TestRunArgValidation(t *testing.T) {
 // usage listing, so every command must appear in it (compare used to be
 // omitted).
 func TestUsageListsEveryCommand(t *testing.T) {
-	err := run(nil, io.Discard)
+	err := run(nil, io.Discard, io.Discard)
 	if err == nil {
 		t.Fatal("expected a missing-command error")
 	}
 	for _, cmd := range []string{
-		"list", "device", "run", "profile", "export", "compare", "figure", "table", "all",
+		"list", "device", "run", "profile", "export", "trace", "compare", "figure", "table", "all",
 	} {
 		if !strings.Contains(err.Error(), cmd) {
 			t.Errorf("usage error %q omits command %q", err, cmd)
@@ -58,7 +64,7 @@ func TestRunFastCommands(t *testing.T) {
 		{"table", "4"},
 		{"figure", "1"},
 	} {
-		if err := run(args, io.Discard); err != nil {
+		if err := run(args, io.Discard, io.Discard); err != nil {
 			t.Errorf("%v: %v", args, err)
 		}
 	}
@@ -73,10 +79,10 @@ func TestFigureCacheAndWorkers(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var cold, warm bytes.Buffer
-	if err := run([]string{"-cache", dir, "-j", "4", "figure", "2"}, &cold); err != nil {
+	if err := run([]string{"-cache", dir, "-j", "4", "figure", "2"}, &cold, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-cache", dir, "-j", "1", "figure", "2"}, &warm); err != nil {
+	if err := run([]string{"-cache", dir, "-j", "1", "figure", "2"}, &warm, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if cold.Len() == 0 {
@@ -87,10 +93,146 @@ func TestFigureCacheAndWorkers(t *testing.T) {
 	}
 }
 
+// traceTo runs `cactus -no-cache trace pb-sgemm FILE` and returns the
+// parsed trace plus the "traced N launches" stderr line.
+func traceTo(t *testing.T, file string) (*telemetry.ChromeTrace, int) {
+	t.Helper()
+	var errOut bytes.Buffer
+	if err := run([]string{"-no-cache", "trace", "pb-sgemm", file}, io.Discard, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := telemetry.ReadChrome(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("trace output is not valid Chrome trace JSON: %v", err)
+	}
+	var launches int
+	for _, line := range strings.Split(errOut.String(), "\n") {
+		if strings.HasPrefix(line, "traced ") {
+			if _, err := fmt.Sscanf(line, "traced %d launches", &launches); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+		}
+	}
+	if launches == 0 {
+		t.Fatalf("no 'traced N launches' line on stderr: %q", errOut.String())
+	}
+	return tr, launches
+}
+
+// TestTraceCommand — the acceptance contract for `cactus trace`: valid
+// Chrome trace JSON with exactly one complete event per kernel launch on
+// each track, deterministic across runs on the modeled-time track.
+func TestTraceCommand(t *testing.T) {
+	dir := t.TempDir()
+	tr, launches := traceTo(t, filepath.Join(dir, "a.json"))
+
+	// Each launch yields one complete ("X") span per track: cat "kernel" on
+	// the modeled track (pid 1), cat "launch" on the host track (pid 2).
+	spans := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			spans[ev.Cat]++
+		}
+	}
+	if spans["kernel"] != launches {
+		t.Errorf("modeled track has %d kernel spans, want %d (one per launch)", spans["kernel"], launches)
+	}
+	if spans["launch"] != launches {
+		t.Errorf("host track has %d launch spans, want %d (one per launch)", spans["launch"], launches)
+	}
+
+	// Modeled-time track must be byte-for-byte reproducible across runs.
+	tr2, _ := traceTo(t, filepath.Join(dir, "b.json"))
+	pick := func(tr *telemetry.ChromeTrace) []telemetry.ChromeEvent {
+		var evs []telemetry.ChromeEvent
+		for _, ev := range tr.TraceEvents {
+			if ev.PID == 1 {
+				evs = append(evs, ev)
+			}
+		}
+		return evs
+	}
+	if !reflect.DeepEqual(pick(tr), pick(tr2)) {
+		t.Error("modeled-track events differ between two runs of the same trace command")
+	}
+}
+
+// TestVerboseProgressAndCounters — -v must attribute each workload to a
+// cache outcome (miss cold, hit warm) and print a counters snapshot whose
+// hits+misses accounting is visible.
+func TestVerboseProgressAndCounters(t *testing.T) {
+	dir := t.TempDir()
+	runV := func() string {
+		var errOut bytes.Buffer
+		if err := run([]string{"-cache", dir, "-v", "-j", "2", "run", "pb-sgemm", "pb-spmv"},
+			io.Discard, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return errOut.String()
+	}
+	cold := runV()
+	for _, want := range []string{
+		"cactus: pb-sgemm:", "cactus: pb-spmv:", "cache miss",
+		"cactus: counters:", "cache.misses", "study.workloads_characterized",
+	} {
+		if !strings.Contains(cold, want) {
+			t.Errorf("cold -v output missing %q:\n%s", want, cold)
+		}
+	}
+	if strings.Contains(cold, "cache hit") {
+		t.Errorf("cold run reported a cache hit:\n%s", cold)
+	}
+	warm := runV()
+	for _, want := range []string{"cache hit", "cache.hits"} {
+		if !strings.Contains(warm, want) {
+			t.Errorf("warm -v output missing %q:\n%s", want, warm)
+		}
+	}
+	if strings.Contains(warm, "cache miss") {
+		t.Errorf("warm run reported a cache miss:\n%s", warm)
+	}
+}
+
+// TestTraceFlagOnStudy — -trace FILE on a study command must write a valid
+// trace containing both tracks.
+func TestTraceFlagOnStudy(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "study.json")
+	if err := run([]string{"-no-cache", "-j", "2", "-trace", file, "run", "pb-sgemm", "pb-spmv"},
+		io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := telemetry.ReadChrome(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("-trace output is not valid Chrome trace JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	characterize := 0
+	for _, ev := range tr.TraceEvents {
+		pids[ev.PID] = true
+		if ev.Ph == "X" && ev.Cat == "characterize" {
+			characterize++
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Errorf("study trace missing a track: pids %v", pids)
+	}
+	if characterize != 2 {
+		t.Errorf("study trace has %d characterize spans, want 2", characterize)
+	}
+}
+
 // TestNoCacheFlag — -no-cache must keep working without touching any cache
 // directory.
 func TestNoCacheFlag(t *testing.T) {
-	if err := run([]string{"-no-cache", "figure", "1"}, io.Discard); err != nil {
+	if err := run([]string{"-no-cache", "figure", "1"}, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,7 +10,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -99,21 +101,65 @@ func sanitizeKey(s string) string {
 	}, s)
 }
 
+// CacheOutcome classifies one profile-cache probe; telemetry counters and
+// the CLI's -v progress lines attribute each workload to one of these.
+type CacheOutcome int
+
+const (
+	// CacheDisabled means no cache was configured for the probe.
+	CacheDisabled CacheOutcome = iota
+	// CacheHit means the entry existed and loaded cleanly.
+	CacheHit
+	// CacheMiss means the entry was absent.
+	CacheMiss
+	// CacheCorrupt means the entry existed but was unreadable, malformed,
+	// or mismatched — functionally a miss (the caller re-simulates and
+	// overwrites), but reported distinctly so corruption is visible
+	// instead of silently swallowed.
+	CacheCorrupt
+)
+
+// String returns the outcome label used in progress lines and trace args.
+func (o CacheOutcome) String() string {
+	switch o {
+	case CacheDisabled:
+		return "disabled"
+	case CacheHit:
+		return "hit"
+	case CacheMiss:
+		return "miss"
+	case CacheCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
 // Load returns w's cached profile for cfg, or ok=false on a miss. Any
 // unreadable, corrupt, or mismatched entry is treated as a miss: the
-// caller re-simulates and overwrites it.
+// caller re-simulates and overwrites it. Probe additionally distinguishes
+// absent from corrupt entries.
 func (c *ProfileCache) Load(w workloads.Workload, cfg gpu.DeviceConfig) (*Profile, bool) {
+	p, outcome := c.Probe(w, cfg)
+	return p, outcome == CacheHit
+}
+
+// Probe returns w's cached profile for cfg together with the probe outcome
+// (CacheHit, CacheMiss, or CacheCorrupt — never CacheDisabled).
+func (c *ProfileCache) Probe(w workloads.Workload, cfg gpu.DeviceConfig) (*Profile, CacheOutcome) {
 	data, err := os.ReadFile(c.path(w.Abbr(), cfg))
 	if err != nil {
-		return nil, false
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, CacheMiss
+		}
+		return nil, CacheCorrupt
 	}
 	var e cachedProfile
 	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, false
+		return nil, CacheCorrupt
 	}
 	if e.Schema != CacheSchemaVersion || e.Abbr != w.Abbr() ||
 		e.Device != cfg.Name || len(e.Kernels) == 0 || e.TotalTime <= 0 {
-		return nil, false
+		return nil, CacheCorrupt
 	}
 	p := &Profile{
 		Workload:       w,
@@ -132,7 +178,7 @@ func (c *ProfileCache) Load(w workloads.Workload, cfg gpu.DeviceConfig) (*Profil
 			instCount:   k.InstCount,
 		}
 	}
-	return p, true
+	return p, CacheHit
 }
 
 // Store writes p's cache entry for cfg atomically.

@@ -12,11 +12,13 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/gpu"
 	"repro/internal/profiler"
 	"repro/internal/roofline"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -122,11 +124,21 @@ func (p *Profile) KernelPoints() []roofline.Point {
 
 // Characterize runs one workload on a fresh device and derives its profile.
 func Characterize(w workloads.Workload, cfg gpu.DeviceConfig) (*Profile, error) {
+	return characterize(w, cfg, telemetry.Nop, nil, 0)
+}
+
+// characterize is Characterize with telemetry attached to the device and
+// session: the session lays the workload's launches on modeled-track lane
+// `lane`, and the device counts launches and warp instructions.
+func characterize(w workloads.Workload, cfg gpu.DeviceConfig, tr telemetry.Tracer, ctr *telemetry.Counters, lane int) (*Profile, error) {
 	dev, err := gpu.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	sess := profiler.NewSession(dev)
+	dev.SetTelemetry(tr, ctr)
+	sess := profiler.NewSessionWith(dev, profiler.SessionOptions{
+		Tracer: tr, Label: w.Abbr(), Lane: lane,
+	})
 	if err := w.Run(sess); err != nil {
 		return nil, fmt.Errorf("core: running %s: %w", w.Abbr(), err)
 	}
@@ -173,7 +185,7 @@ type Study struct {
 }
 
 // StudyOptions configures how NewStudyWith characterizes its workloads.
-// The zero value means: one worker per CPU, no profile cache.
+// The zero value means: one worker per CPU, no profile cache, telemetry off.
 type StudyOptions struct {
 	// Workers is the number of goroutines characterizing workloads
 	// concurrently. Zero or negative selects runtime.NumCPU(). Each worker
@@ -184,7 +196,44 @@ type StudyOptions struct {
 	Workers int
 	// Cache, when non-nil, is consulted before simulating a workload and
 	// updated after each miss, so repeated studies skip re-simulation.
+	// Failures to write an entry do not fail the study: they are counted
+	// (telemetry.CtrCacheStoreErrors) and surfaced through Progress.
 	Cache *ProfileCache
+	// Tracer, when non-nil, receives the study's telemetry events: each
+	// workload's kernel launches on its own modeled-GPU-time lane, plus
+	// host-track spans for characterization tasks, cache probes, and
+	// worker-pool lifecycle. Must be safe for concurrent use (it is called
+	// from every worker goroutine).
+	Tracer telemetry.Tracer
+	// Counters, when non-nil, accumulates pipeline counters: launches,
+	// warp instructions, cache hits/misses/corruption/store errors, busy
+	// workers, and per-workload modeled vs wall time.
+	Counters *telemetry.Counters
+	// Progress, when non-nil, is invoked once per workload — from the
+	// goroutine that characterized it, in completion order — after its
+	// profile is ready. Must be safe for concurrent use when Workers > 1.
+	Progress func(WorkloadProgress)
+}
+
+// WorkloadProgress reports one characterized workload to
+// StudyOptions.Progress (the CLI's -v output).
+type WorkloadProgress struct {
+	// Abbr is the workload abbreviation.
+	Abbr string
+	// Kernels is the number of distinct kernels in the profile.
+	Kernels int
+	// ModeledTime is the workload's modeled GPU time in seconds.
+	ModeledTime float64
+	// Wall is the host wall time spent producing the profile (simulation
+	// or cache load, including the cache probe and store).
+	Wall time.Duration
+	// Cache is the cache-probe outcome; CacheDisabled when no cache is
+	// configured.
+	Cache CacheOutcome
+	// StoreErr, when non-nil, is the cache-write failure for this profile.
+	// Store failures do not fail the study; they are reported here and
+	// counted under telemetry.CtrCacheStoreErrors.
+	StoreErr error
 }
 
 // NewStudy characterizes all the given workloads on cfg, serially and
@@ -208,13 +257,13 @@ func NewStudyWith(cfg gpu.DeviceConfig, opts StudyOptions, ws ...workloads.Workl
 	profiles := make([]*Profile, len(ws))
 	if workers <= 1 {
 		for i, w := range ws {
-			p, err := characterizeCached(w, cfg, opts.Cache)
+			p, err := characterizeCached(w, cfg, opts, i, 0)
 			if err != nil {
 				return nil, err
 			}
 			profiles[i] = p
 		}
-	} else if err := characterizeAll(profiles, ws, cfg, opts.Cache, workers); err != nil {
+	} else if err := characterizeAll(profiles, ws, cfg, opts, workers); err != nil {
 		return nil, err
 	}
 	st := &Study{Device: cfg, byAbbr: make(map[string]*Profile, len(ws))}
@@ -228,27 +277,36 @@ func NewStudyWith(cfg gpu.DeviceConfig, opts StudyOptions, ws ...workloads.Workl
 // characterizeAll fans the workloads out over a fixed worker pool, writing
 // each profile into its workload's slot so order is preserved. The first
 // error stops the feed; in-flight characterizations drain before return.
-func characterizeAll(profiles []*Profile, ws []workloads.Workload, cfg gpu.DeviceConfig, cache *ProfileCache, workers int) error {
+// Each worker owns one host-track telemetry lane; its per-task spans are
+// the pool's lifecycle record, and CtrWorkersBusy gauges its occupancy.
+func characterizeAll(profiles []*Profile, ws []workloads.Workload, cfg gpu.DeviceConfig, opts StudyOptions, workers int) error {
 	var (
 		wg       sync.WaitGroup
 		once     sync.Once
 		firstErr error
 	)
+	tr := telemetry.Or(opts.Tracer)
 	idx := make(chan int)
 	fail := make(chan struct{})
 	for n := 0; n < workers; n++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			if tr.Enabled() {
+				tr.Emit(telemetry.ThreadName(telemetry.TrackHost, worker,
+					fmt.Sprintf("worker %d", worker)))
+			}
 			for i := range idx {
-				p, err := characterizeCached(ws[i], cfg, cache)
+				opts.Counters.Add(telemetry.CtrWorkersBusy, 1)
+				p, err := characterizeCached(ws[i], cfg, opts, i, worker)
+				opts.Counters.Add(telemetry.CtrWorkersBusy, -1)
 				if err != nil {
 					once.Do(func() { firstErr = err; close(fail) })
 					continue
 				}
 				profiles[i] = p
 			}
-		}()
+		}(n)
 	}
 feed:
 	for i := range ws {
@@ -263,21 +321,92 @@ feed:
 	return firstErr
 }
 
-// characterizeCached is Characterize behind an optional profile cache.
-func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, cache *ProfileCache) (*Profile, error) {
-	if cache != nil {
-		if p, ok := cache.Load(w, cfg); ok {
-			return p, nil
+// characterizeCached is one workload's characterization behind the optional
+// profile cache, instrumented end to end: the cache probe outcome becomes a
+// host-track instant and a hit/miss/corrupt counter, the whole task becomes
+// a host-track span on the worker's lane, and the workload's modeled vs
+// wall time land in per-workload counters. `lane` is the workload's
+// modeled-track lane (its index in the study); `worker` is the host-track
+// lane of the goroutine doing the work.
+func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOptions, lane, worker int) (*Profile, error) {
+	tr := telemetry.Or(opts.Tracer)
+	wallStart := time.Now()
+	hostStart := telemetry.Now()
+
+	outcome := CacheDisabled
+	var p *Profile
+	if opts.Cache != nil {
+		p, outcome = opts.Cache.Probe(w, cfg)
+		switch outcome {
+		case CacheHit:
+			opts.Counters.Add(telemetry.CtrCacheHits, 1)
+		case CacheMiss:
+			opts.Counters.Add(telemetry.CtrCacheMisses, 1)
+		case CacheCorrupt:
+			// A corrupt entry is functionally a miss, but visible.
+			opts.Counters.Add(telemetry.CtrCacheMisses, 1)
+			opts.Counters.Add(telemetry.CtrCacheCorrupt, 1)
+		}
+		if tr.Enabled() {
+			tr.Emit(telemetry.Event{
+				Track: telemetry.TrackHost, Phase: telemetry.PhaseInstant,
+				Name: "cache " + outcome.String(), Cat: "cache", TID: worker,
+				Start: telemetry.Now(),
+				Args:  map[string]any{"workload": w.Abbr()},
+			})
 		}
 	}
-	p, err := Characterize(w, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if cache != nil {
-		if err := cache.Store(p, cfg); err != nil {
-			return nil, fmt.Errorf("core: caching %s: %w", w.Abbr(), err)
+
+	var storeErr error
+	if p == nil {
+		var err error
+		p, err = characterize(w, cfg, tr, opts.Counters, lane)
+		if err != nil {
+			return nil, err
 		}
+		if opts.Cache != nil {
+			if storeErr = opts.Cache.Store(p, cfg); storeErr != nil {
+				storeErr = fmt.Errorf("core: caching %s: %w", w.Abbr(), storeErr)
+				opts.Counters.Add(telemetry.CtrCacheStoreErrors, 1)
+				if tr.Enabled() {
+					tr.Emit(telemetry.Event{
+						Track: telemetry.TrackHost, Phase: telemetry.PhaseInstant,
+						Name: "cache store error", Cat: "cache", TID: worker,
+						Start: telemetry.Now(),
+						Args: map[string]any{
+							"workload": w.Abbr(), "error": storeErr.Error(),
+						},
+					})
+				}
+			}
+		}
+	}
+
+	wall := time.Since(wallStart)
+	opts.Counters.Add(telemetry.CtrWorkloads, 1)
+	opts.Counters.Add(telemetry.WorkloadModeledNs(w.Abbr()), int64(p.TotalTime*1e9))
+	opts.Counters.Add(telemetry.WorkloadWallNs(w.Abbr()), wall.Nanoseconds())
+	if tr.Enabled() {
+		tr.Emit(telemetry.Event{
+			Track: telemetry.TrackHost, Phase: telemetry.PhaseSpan,
+			Name: w.Abbr(), Cat: "characterize", TID: worker,
+			Start: hostStart, Dur: telemetry.Now() - hostStart,
+			Args: map[string]any{
+				"cache":      outcome.String(),
+				"kernels":    len(p.Kernels),
+				"modeled_ms": p.TotalTime * 1e3,
+			},
+		})
+	}
+	if opts.Progress != nil {
+		opts.Progress(WorkloadProgress{
+			Abbr:        w.Abbr(),
+			Kernels:     len(p.Kernels),
+			ModeledTime: p.TotalTime,
+			Wall:        wall,
+			Cache:       outcome,
+			StoreErr:    storeErr,
+		})
 	}
 	return p, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/memsim"
+	"repro/internal/telemetry"
 )
 
 // pipeRate returns a class's per-SM throughput in warp instructions per
@@ -52,7 +53,10 @@ type LaunchResult struct {
 	// GIPS is achieved Giga warp instructions per second.
 	GIPS float64
 	// InstIntensity is warp instructions per DRAM transaction (the roofline
-	// x-axis). Infinite (math.Inf) when the kernel produced no DRAM traffic.
+	// x-axis). Infinite (math.Inf) when the kernel produced no DRAM traffic;
+	// every JSON export boundary clamps this to a finite value — the
+	// profiler's KernelProfile.Metrics and the telemetry launch args both
+	// floor the transaction count at 1 (encoding/json rejects ±Inf).
 	InstIntensity float64
 	// DRAMReadBytesPerSec is the achieved DRAM read throughput.
 	DRAMReadBytesPerSec float64
@@ -68,6 +72,9 @@ type Device struct {
 	cfg      DeviceConfig
 	locality *memsim.LocalityModel
 
+	tracer   telemetry.Tracer
+	counters *telemetry.Counters
+
 	mu   sync.Mutex
 	hier *memsim.Hierarchy
 }
@@ -81,14 +88,31 @@ func New(cfg DeviceConfig) (*Device, error) {
 		cfg:      cfg,
 		locality: memsim.NewLocalityModel(cfg.NumSMs, cfg.L1BytesPerSM, cfg.L2Bytes),
 		hier:     memsim.NewHierarchy(cfg.L1Config(), cfg.L2Config()),
+		tracer:   telemetry.Nop,
 	}, nil
 }
 
 // Config returns the device configuration.
 func (d *Device) Config() DeviceConfig { return d.cfg }
 
+// SetTelemetry attaches an event tracer and a counters registry to the
+// device: every Launch then emits a host-track span (the time spent in the
+// model) and bumps the launch/warp-instruction counters. Either may be nil.
+// Not safe to call concurrently with Launch — attach before issuing work.
+func (d *Device) SetTelemetry(tr telemetry.Tracer, ctr *telemetry.Counters) {
+	d.tracer = telemetry.Or(tr)
+	d.counters = ctr
+}
+
 // Launch models the execution of one kernel and returns its result.
 func (d *Device) Launch(spec KernelSpec) (LaunchResult, error) {
+	// The Enabled check is the entire disabled-tracer cost (plus two nil
+	// counter checks below) — see BenchmarkLaunchTelemetry.
+	traced := d.tracer.Enabled()
+	var hostStart float64
+	if traced {
+		hostStart = telemetry.Now()
+	}
 	if err := spec.Validate(); err != nil {
 		return LaunchResult{}, err
 	}
@@ -195,7 +219,36 @@ func (d *Device) Launch(spec KernelSpec) (LaunchResult, error) {
 	res.StallSync = clamp01(tSync / math.Max(tExec, 1e-12))
 	normalizeStalls(&res)
 
+	if d.counters != nil {
+		d.counters.Add(telemetry.CtrLaunches, 1)
+		d.counters.Add(telemetry.CtrWarpInstructions, int64(total))
+	}
+	if traced {
+		d.tracer.Emit(telemetry.Event{
+			Track: telemetry.TrackHost, Phase: telemetry.PhaseSpan,
+			Name: spec.Name, Cat: "launch",
+			Start: hostStart, Dur: telemetry.Now() - hostStart,
+			Args: res.TelemetryArgs(),
+		})
+	}
 	return res, nil
+}
+
+// TelemetryArgs carries a launch's identity and headline numbers into trace
+// events (the gpu host-track span and the profiler's modeled-track span).
+// Instruction intensity floors the transaction count at 1 — the same clamp
+// KernelProfile.Metrics applies — because +Inf (zero-DRAM kernels) is
+// unrepresentable in JSON.
+func (r LaunchResult) TelemetryArgs() map[string]any {
+	return map[string]any{
+		"grid":           fmt.Sprintf("%dx%dx%d", r.Grid.X, r.Grid.Y, r.Grid.Z),
+		"block":          fmt.Sprintf("%dx%dx%d", r.Block.X, r.Block.Y, r.Block.Z),
+		"warp_insts":     r.Mix.Total(),
+		"dram_txns":      r.Traffic.DRAMTxns,
+		"modeled_ns":     r.Time * 1e9,
+		"gips":           r.GIPS,
+		"inst_intensity": float64(r.Mix.Total()) / math.Max(float64(r.Traffic.DRAMTxns), 1),
+	}
 }
 
 // MustLaunch is Launch that panics on error; for workload code whose specs

@@ -1,0 +1,70 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/memsim"
+	"repro/internal/telemetry"
+)
+
+// benchSpec is a representative kernel: mixed arithmetic with a coalesced
+// global stream, the common case on the Launch hot path.
+func benchSpec() KernelSpec {
+	var mix isa.Mix
+	mix.Add(isa.FP32, 1<<16)
+	mix.Add(isa.INT, 1<<14)
+	mix.Add(isa.LoadGlobal, 1<<13)
+	mix.Add(isa.StoreGlobal, 1<<12)
+	const footprint = 1 << 20
+	return KernelSpec{
+		Name: "bench_kernel", Grid: D1(1024), Block: D1(256), Mix: mix,
+		Streams: []memsim.Stream{{
+			Name: "s", FootprintBytes: footprint, AccessBytes: footprint,
+			ElemBytes: 4, Pattern: memsim.Coalesced, Partitioned: true,
+		}},
+	}
+}
+
+// BenchmarkLaunchTelemetry quantifies the telemetry cost on Device.Launch.
+// The disabled case (Nop tracer, nil counters — the default for every
+// device) must be within noise of free: its entire cost is one interface
+// Enabled() call and two nil checks, the <2% overhead budget the telemetry
+// layer is designed to. Compare:
+//
+//	go test ./internal/gpu -bench BenchmarkLaunchTelemetry -benchtime 10000x
+func BenchmarkLaunchTelemetry(b *testing.B) {
+	spec := benchSpec()
+	run := func(b *testing.B, dev *Device) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dev.Launch(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		dev, err := New(RTX3080())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, dev)
+	})
+	b.Run("counters-only", func(b *testing.B) {
+		dev, err := New(RTX3080())
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev.SetTelemetry(nil, telemetry.NewCounters())
+		run(b, dev)
+	})
+	b.Run("recorder", func(b *testing.B) {
+		dev, err := New(RTX3080())
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev.SetTelemetry(telemetry.NewRecorder(), telemetry.NewCounters())
+		run(b, dev)
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/isa"
 	"repro/internal/memsim"
+	"repro/internal/telemetry"
 )
 
 // Metric enumerates the collected performance metrics. The first four are
@@ -145,7 +146,10 @@ func (k *KernelProfile) add(r gpu.LaunchResult) {
 
 // Metrics returns the kernel's aggregated metric vector. Instruction
 // intensity for kernels with zero DRAM traffic is reported against a single
-// transaction (finite, very large) so downstream statistics stay defined.
+// transaction (finite, very large) so downstream statistics stay defined
+// and every JSON export of the vector (profile cache entries, trace args)
+// marshals without error — encoding/json rejects the +Inf that
+// gpu.LaunchResult.InstIntensity reports for such kernels.
 func (k *KernelProfile) Metrics() Vector {
 	var v Vector
 	t := k.TotalTime
@@ -178,15 +182,41 @@ func (k *KernelProfile) Metrics() Vector {
 // Session records the launches of one workload run. It wraps a device so
 // workload code only ever talks to the session.
 type Session struct {
-	dev *gpu.Device
+	dev    *gpu.Device
+	tracer telemetry.Tracer
+	lane   int
 
 	mu       sync.Mutex
 	launches []gpu.LaunchResult
+	cursor   float64 // modeled-track timeline position, seconds
 }
 
-// NewSession starts a profiling session on dev.
+// SessionOptions configures a session's telemetry.
+type SessionOptions struct {
+	// Tracer, when non-nil, receives one modeled-GPU-track span per launch:
+	// kernel launches laid end to end from t=0 using their modeled
+	// durations, so the track is deterministic across identical runs.
+	Tracer telemetry.Tracer
+	// Label names the session's modeled-track lane (usually the workload
+	// abbreviation); empty emits no lane metadata.
+	Label string
+	// Lane is the modeled-track thread id. Sessions recording into a shared
+	// tracer (a study) use distinct lanes so timelines don't overlap.
+	Lane int
+}
+
+// NewSession starts a profiling session on dev with telemetry disabled.
 func NewSession(dev *gpu.Device) *Session {
-	return &Session{dev: dev}
+	return NewSessionWith(dev, SessionOptions{})
+}
+
+// NewSessionWith starts a profiling session on dev with the given telemetry.
+func NewSessionWith(dev *gpu.Device, opts SessionOptions) *Session {
+	s := &Session{dev: dev, tracer: telemetry.Or(opts.Tracer), lane: opts.Lane}
+	if s.tracer.Enabled() && opts.Label != "" {
+		s.tracer.Emit(telemetry.ThreadName(telemetry.TrackModeled, opts.Lane, opts.Label))
+	}
+	return s
 }
 
 // Device returns the underlying device.
@@ -200,7 +230,17 @@ func (s *Session) Launch(spec gpu.KernelSpec) (gpu.LaunchResult, error) {
 	}
 	s.mu.Lock()
 	s.launches = append(s.launches, res)
+	start := s.cursor
+	s.cursor += res.Time
 	s.mu.Unlock()
+	if s.tracer.Enabled() {
+		s.tracer.Emit(telemetry.Event{
+			Track: telemetry.TrackModeled, Phase: telemetry.PhaseSpan,
+			Name: res.Name, Cat: "kernel", TID: s.lane,
+			Start: start, Dur: res.Time,
+			Args: res.TelemetryArgs(),
+		})
+	}
 	return res, nil
 }
 
