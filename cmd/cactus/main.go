@@ -12,6 +12,7 @@
 //	cactus export <abbr> [file]
 //	cactus trace <abbr> [file]
 //	cactus compare <abbr> [...]
+//	cactus lint [abbr ...]
 //	cactus figure <1..9>
 //	cactus table <1..4>
 //	cactus all
@@ -26,6 +27,14 @@
 //	-trace FILE               write a Chrome trace of the whole study to FILE
 //	-v                        per-workload progress and a counters snapshot on stderr
 //	-pprof ADDR               serve net/http/pprof and expvar counters on ADDR
+//
+// `cactus lint` statically audits every registered workload's kernel-spec
+// stream against the device limits (Table II) without running the
+// simulation: each workload executes against an audit device that records
+// specs instead of modeling them, and every spec is checked for block sizes
+// that are not warp multiples or exceed device limits, shared memory over
+// the SM budget, degenerate grids, and zero theoretical occupancy. Exit is
+// nonzero on any violation. The code-level companion is cmd/cactuslint.
 //
 // `cactus trace <abbr>` records one workload's launch timeline as Chrome
 // trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev):
@@ -78,7 +87,7 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, figure, table, all)")
+		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, lint, figure, table, all)")
 	}
 
 	var cfg gpu.DeviceConfig
@@ -113,7 +122,7 @@ func run(args []string, out, errOut io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("pprof listener: %w", err)
 		}
-		defer ln.Close()
+		defer func() { _ = ln.Close() }() // shutdown race with http.Serve; nothing to do with the error
 		counters.PublishExpvar("cactus")
 		// net/http/pprof and expvar register on the default mux; counters
 		// appear under /debug/vars, profiles under /debug/pprof/.
@@ -213,16 +222,9 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		if err := w.Run(sess); err != nil {
 			return err
 		}
-		sink := out
-		if len(rest) == 3 {
-			f, err := os.Create(rest[2])
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			sink = f
-		}
-		if err := trace.Export(sink, w.Abbr(), cfg, sess); err != nil {
+		if err := writeToSink(rest, out, func(sink io.Writer) error {
+			return trace.Export(sink, w.Abbr(), cfg, sess)
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintf(errOut, "exported %d launches\n", sess.LaunchCount())
@@ -250,16 +252,9 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		if err := w.Run(sess); err != nil {
 			return err
 		}
-		sink := out
-		if len(rest) == 3 {
-			f, err := os.Create(rest[2])
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			sink = f
-		}
-		if err := telemetry.WriteChrome(sink, rec.Events()); err != nil {
+		if err := writeToSink(rest, out, func(sink io.Writer) error {
+			return telemetry.WriteChrome(sink, rec.Events())
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintf(errOut, "traced %d launches, modeled %.3f ms\n",
@@ -388,6 +383,20 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		}
 		return tbl.Render(out)
 
+	case "lint":
+		ws := cat.All()
+		if len(rest) > 1 {
+			ws = ws[:0]
+			for _, abbr := range rest[1:] {
+				w, err := cat.Lookup(abbr)
+				if err != nil {
+					return err
+				}
+				ws = append(ws, w)
+			}
+		}
+		return lintWorkloads(ws, cfg, out, errOut)
+
 	case "all":
 		st, err := core.NewStudyWith(cfg, opts, cat.All()...)
 		if err != nil {
@@ -427,6 +436,56 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 	}
 }
 
+// lintWorkloads runs each workload against an audit device — recording its
+// kernel-spec stream without simulating it — and reports every spec that
+// violates the device's hardware limits, one line per (kernel, rule) with
+// the number of offending launches. Returns an error (nonzero exit) when
+// any violation is found.
+func lintWorkloads(ws []workloads.Workload, cfg gpu.DeviceConfig, out, errOut io.Writer) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var launches, violations int
+	for _, w := range ws {
+		dev, err := gpu.NewAudit(cfg)
+		if err != nil {
+			return err
+		}
+		sess := profiler.NewSession(dev)
+		if err := w.Run(sess); err != nil {
+			return fmt.Errorf("lint: %s: %w", w.Abbr(), err)
+		}
+		specs := dev.AuditSpecs()
+		launches += len(specs)
+
+		type key struct{ kernel, rule string }
+		counts := make(map[key]int)
+		details := make(map[key]string)
+		var order []key
+		for _, spec := range specs {
+			for _, issue := range gpu.CheckSpec(cfg, spec) {
+				k := key{spec.Name, issue.Rule}
+				if counts[k] == 0 {
+					order = append(order, k)
+					details[k] = issue.Detail
+				}
+				counts[k]++
+			}
+		}
+		for _, k := range order {
+			fmt.Fprintf(out, "%s/%s: kernel %s: %s: %s (%d launches)\n",
+				w.Suite(), w.Abbr(), k.kernel, k.rule, details[k], counts[k])
+			violations++
+		}
+	}
+	fmt.Fprintf(errOut, "cactus lint: %d workloads, %d launches audited, %d violations\n",
+		len(ws), launches, violations)
+	if violations > 0 {
+		return fmt.Errorf("lint: %d kernel-spec violation(s)", violations)
+	}
+	return nil
+}
+
 // writeTraceFile dumps a recorded study trace as Chrome trace-event JSON.
 func writeTraceFile(path string, rec *telemetry.Recorder) error {
 	f, err := os.Create(path)
@@ -434,7 +493,25 @@ func writeTraceFile(path string, rec *telemetry.Recorder) error {
 		return err
 	}
 	if err := telemetry.WriteChrome(f, rec.Events()); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// writeToSink runs write against rest[2] when a file argument is given
+// (propagating the close error — that is when buffered bytes reach disk) or
+// against out otherwise.
+func writeToSink(rest []string, out io.Writer, write func(io.Writer) error) error {
+	if len(rest) < 3 {
+		return write(out)
+	}
+	f, err := os.Create(rest[2])
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,103 @@
+// Command cactuslint runs the repository's custom static analyzers (see
+// internal/lint) over the given package patterns and prints findings as
+//
+//	file:line: analyzer: message
+//
+// exiting nonzero when there is any finding. Suppress a finding with a
+// comment on the same line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// Usage:
+//
+//	cactuslint [flags] [packages]
+//
+// With no packages, ./... is analyzed.
+//
+// Flags:
+//
+//	-analyzers a,b   run only the named analyzers (default: all)
+//	-list            print the analyzers and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cactuslint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the linter and returns the process exit code: 0 clean, 1
+// findings. Errors (bad flags, packages that do not type-check) are returned
+// for exit code 2.
+func run(args []string, out, errOut io.Writer) (int, error) {
+	fs := flag.NewFlagSet("cactuslint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	names := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*names, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				return 2, fmt.Errorf("unknown analyzer %q", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		return 2, err
+	}
+	if len(pkgs) == 0 {
+		// `go list` warns but exits zero on an unmatched pattern; an empty
+		// analysis must not read as a clean one.
+		return 2, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	wd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := f.Pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, pos); err == nil && !strings.HasPrefix(rel, "..") {
+				pos = rel
+			}
+		}
+		fmt.Fprintf(out, "%s:%d: %s: %s\n", pos, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errOut, "cactuslint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,152 @@
+package repro
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// coldStudy characterizes the full catalog serially with a fresh cache
+// rooted at dir, so every profile is simulated from scratch and its JSON
+// serialization lands on disk.
+func coldStudy(t *testing.T, dir string) *core.Study {
+	t.Helper()
+	cat, err := core.DefaultCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := core.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.NewStudyWith(gpu.RTX3080(), core.StudyOptions{Workers: 1, Cache: cache}, cat.All()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// readTree returns path -> contents for every file under root, with paths
+// relative to root.
+func readTree(t *testing.T, root string) map[string][]byte {
+	t.Helper()
+	files := make(map[string][]byte)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		files[rel] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// studyCSV renders a study as a full-precision CSV (the report layer's
+// serialization), so formatting-level nondeterminism is caught too.
+func studyCSV(t *testing.T, st *core.Study) []byte {
+	t.Helper()
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var rows [][]string
+	for _, p := range st.Profiles {
+		rows = append(rows, []string{p.Abbr(), "", g(p.TotalTime), g(p.AggII), g(p.AggGIPS)})
+		for _, k := range p.Kernels {
+			rows = append(rows, []string{p.Abbr(), k.Name, g(k.TimeShare), g(k.II()), g(k.GIPS())})
+		}
+	}
+	var buf bytes.Buffer
+	if err := report.WriteCSV(&buf, []string{"workload", "kernel", "time", "ii", "gips"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStudyByteDeterminism runs the full characterization twice — cold and
+// serial both times — and requires the results to be byte-identical at both
+// serialization boundaries: the cached profile JSON entries and the rendered
+// report CSV. This is the regression test behind the nodeterminism and
+// finiteflow analyzers: any wall-clock read, global random source, or
+// map-ordered emission in model code shows up here as a byte diff.
+func TestStudyByteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full-catalog characterizations")
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	stA := coldStudy(t, dirA)
+	stB := coldStudy(t, dirB)
+
+	filesA, filesB := readTree(t, dirA), readTree(t, dirB)
+	if len(filesA) == 0 {
+		t.Fatal("first run produced no cache entries")
+	}
+	if len(filesA) != len(filesB) {
+		t.Fatalf("run A wrote %d cache entries, run B wrote %d", len(filesA), len(filesB))
+	}
+	for rel, a := range filesA {
+		b, ok := filesB[rel]
+		if !ok {
+			t.Errorf("cache entry %s missing from run B", rel)
+			continue
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("cache entry %s differs between identical runs", rel)
+		}
+	}
+
+	if a, b := studyCSV(t, stA), studyCSV(t, stB); !bytes.Equal(a, b) {
+		t.Error("report CSV differs between identical runs")
+	}
+}
+
+// TestTraceExportByteDeterminism runs one workload twice through the trace
+// exporter and requires byte-identical line-delimited JSON.
+func TestTraceExportByteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload characterization")
+	}
+	cat, err := core.DefaultCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := cat.Lookup("GMS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	export := func() []byte {
+		dev, err := gpu.New(gpu.RTX3080())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := profiler.NewSession(dev)
+		if err := w.Run(sess); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.Export(&buf, w.Abbr(), gpu.RTX3080(), sess); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := export(), export(); !bytes.Equal(a, b) {
+		t.Error("trace export differs between identical runs")
+	}
+}

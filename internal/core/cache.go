@@ -212,7 +212,7 @@ func (c *ProfileCache) Store(p *Profile, cfg gpu.DeviceConfig) error {
 		return err
 	}
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error is the one worth reporting
 		os.Remove(tmp.Name())
 		return err
 	}

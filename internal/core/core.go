@@ -330,6 +330,7 @@ feed:
 // lane of the goroutine doing the work.
 func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOptions, lane, worker int) (*Profile, error) {
 	tr := telemetry.Or(opts.Tracer)
+	//lint:ignore nodeterminism wall time is telemetry about the pipeline, not model output
 	wallStart := time.Now()
 	hostStart := telemetry.Now()
 
@@ -382,6 +383,7 @@ func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOp
 		}
 	}
 
+	//lint:ignore nodeterminism wall time is telemetry about the pipeline, not model output
 	wall := time.Since(wallStart)
 	opts.Counters.Add(telemetry.CtrWorkloads, 1)
 	opts.Counters.Add(telemetry.WorkloadModeledNs(w.Abbr()), int64(p.TotalTime*1e9))

@@ -93,16 +93,21 @@ type Occupancy struct {
 	Limiter string
 }
 
-// occupancyOf computes theoretical and achieved occupancy for spec on c.
-func occupancyOf(c DeviceConfig, k KernelSpec) Occupancy {
+// theoreticalLimit computes the raw per-SM block limit for k on c and the
+// limiting resource, without flooring: a spec whose per-block shared-memory
+// or register demand exceeds the SM budget yields limit 0 — the kernel has
+// zero theoretical occupancy and could never launch on real hardware.
+// CheckSpec reports that statically; occupancyOf floors it at 1 so the
+// timing model stays defined.
+func theoreticalLimit(c DeviceConfig, k KernelSpec) (limit int, limiter string) {
 	warpsPerBlock := (k.Block.Count() + 31) / 32
 	regs := k.RegsPerThread
 	if regs <= 0 {
 		regs = 32
 	}
 
-	limit := c.MaxBlocksPerSM
-	limiter := "blocks"
+	limit = c.MaxBlocksPerSM
+	limiter = "blocks"
 	if byWarps := c.MaxWarpsPerSM / warpsPerBlock; byWarps < limit {
 		limit, limiter = byWarps, "warps"
 	}
@@ -117,6 +122,13 @@ func occupancyOf(c DeviceConfig, k KernelSpec) Occupancy {
 			limit, limiter = byRegs, "registers"
 		}
 	}
+	return limit, limiter
+}
+
+// occupancyOf computes theoretical and achieved occupancy for spec on c.
+func occupancyOf(c DeviceConfig, k KernelSpec) Occupancy {
+	warpsPerBlock := (k.Block.Count() + 31) / 32
+	limit, limiter := theoreticalLimit(c, k)
 	if limit < 1 {
 		limit, limiter = 1, limiter+" (over budget)"
 	}

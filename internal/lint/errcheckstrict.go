@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheckStrict flags statements that silently drop the error result of
+// calls whose failure loses data: io.Closer Close (an os.File close is when
+// buffered writes actually hit the disk), Flush, cache Store, encoder
+// Encode, report Render/Export, and Write* sink methods. An explicit
+// `_ = f.Close()` is an acknowledged drop and is not flagged; writers that
+// cannot fail (strings.Builder, bytes.Buffer) are exempt.
+var ErrCheckStrict = &Analyzer{
+	Name: "errcheckstrict",
+	Doc: "forbid silently dropped errors on closers, flushes, cache " +
+		"stores, and sink writes",
+	Run: runErrCheckStrict,
+}
+
+// strictNames are the exact callee names checked; names starting with
+// "Write" are checked too.
+var strictNames = map[string]bool{
+	"Close": true, "Flush": true, "Store": true, "Encode": true,
+	"Render": true, "Export": true,
+}
+
+func strictName(name string) bool {
+	return strictNames[name] || strings.HasPrefix(name, "Write")
+}
+
+// neverFailingRecv reports receivers whose Write/WriteString error results
+// are documented to always be nil.
+func neverFailingRecv(sig *types.Signature) bool {
+	if sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+func runErrCheckStrict(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var deferred bool
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call, deferred = n.Call, true
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || !strictName(fn.Name()) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 {
+				return true
+			}
+			last := sig.Results().At(sig.Results().Len() - 1).Type()
+			if !types.Identical(last, errorType) || neverFailingRecv(sig) {
+				return true
+			}
+			what := recvString(fn) + "." + fn.Name()
+			if deferred {
+				p.Reportf(call.Pos(), "deferred %s drops its error; close in a named helper or wrap: defer func() { _ = x.%s() }() with a reason", what, fn.Name())
+			} else {
+				p.Reportf(call.Pos(), "%s's error result is silently dropped; handle it or assign to _ explicitly", what)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LaunchPath enforces the model's single-entry invariant: every piece of
+// simulated GPU work flows through gpu.Device.Launch. A package outside
+// internal/gpu that constructs a gpu.LaunchResult by hand, or assembles a
+// gpu.Occupancy itself, is fabricating modeled results and bypassing the
+// timing model — the profiler, cache, and figures would silently trust it.
+var LaunchPath = &Analyzer{
+	Name: "launchpath",
+	Doc: "forbid constructing gpu.LaunchResult/gpu.Occupancy outside " +
+		"internal/gpu; modeled results come only from Device.Launch",
+	Scope: func(path string) bool { return !gpuPackage(path) },
+	Run:   runLaunchPath,
+}
+
+func runLaunchPath(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(lit)
+			if t == nil {
+				return true
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || !gpuPackage(obj.Pkg().Path()) {
+				return true
+			}
+			switch obj.Name() {
+			case "LaunchResult":
+				p.Reportf(lit.Pos(), "gpu.LaunchResult constructed outside internal/gpu; modeled results must come from Device.Launch")
+			case "Occupancy":
+				p.Reportf(lit.Pos(), "gpu.Occupancy constructed outside internal/gpu; occupancy is computed by Device.Launch")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureCases pairs each analyzer with its fixture package. The asPath puts
+// the fixture inside (or outside) the analyzer's scope without moving files.
+var fixtureCases = []struct {
+	dir      string
+	asPath   string
+	analyzer *Analyzer
+}{
+	{"nodeterminism", "repro/internal/core/fixture", NoDeterminism},
+	{"finiteflow", "repro/internal/telemetry/fixture", FiniteFlow},
+	{"launchpath", "repro/internal/profiler/fixture", LaunchPath},
+	{"errcheckstrict", "repro/cmd/fixture", ErrCheckStrict},
+}
+
+// wantRe extracts the quoted substrings of a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants parses `// want "substr"` comments out of a fixture package.
+func collectWants(t *testing.T, pkg *Package) map[wantKey][]string {
+	t.Helper()
+	wants := make(map[wantKey][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{file: filepath.Base(pos.Filename), line: pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx:], -1) {
+					wants[key] = append(wants[key], m[1])
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", pkg.Path)
+	}
+	return wants
+}
+
+// TestAnalyzerFixtures checks every analyzer against its fixture: each
+// `// want` comment must produce a finding on that line, and no finding may
+// appear without one. The unguarded fixture lines double as false-positive
+// coverage, and each fixture carries a //lint:ignore suppression that must
+// hold.
+func TestAnalyzerFixtures(t *testing.T) {
+	loader := newFixtureLoader(filepath.Join("testdata", "src"))
+	for _, tc := range fixtureCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, err := loader.load(tc.dir, tc.asPath)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			findings := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			wants := collectWants(t, pkg)
+			for _, f := range findings {
+				key := wantKey{file: filepath.Base(f.Pos.Filename), line: f.Pos.Line}
+				matched := -1
+				for i, w := range wants[key] {
+					if strings.Contains(f.Message, w) {
+						matched = i
+						break
+					}
+				}
+				if matched < 0 {
+					t.Errorf("unexpected finding: %s", f)
+					continue
+				}
+				wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+			}
+			for key, rest := range wants {
+				for _, w := range rest {
+					t.Errorf("missing finding at %s:%d matching %q", key.file, key.line, w)
+				}
+			}
+		})
+	}
+}
+
+// TestScopePredicates verifies the analyzers' scoping: loading the same
+// nodeterminism fixture under a path outside the model packages must produce
+// zero findings, and loading the launchpath fixture AS a gpu package must
+// silence launchpath.
+func TestScopePredicates(t *testing.T) {
+	t.Run("nodeterminism-out-of-scope", func(t *testing.T) {
+		loader := newFixtureLoader(filepath.Join("testdata", "src"))
+		pkg, err := loader.load("nodeterminism", "example.com/outside/model")
+		if err != nil {
+			t.Fatalf("load fixture: %v", err)
+		}
+		if findings := Run([]*Package{pkg}, []*Analyzer{NoDeterminism}); len(findings) != 0 {
+			t.Errorf("out-of-scope package produced findings: %v", findings)
+		}
+	})
+	t.Run("launchpath-inside-gpu", func(t *testing.T) {
+		loader := newFixtureLoader(filepath.Join("testdata", "src"))
+		pkg, err := loader.load("launchpath", "repro/internal/gpu")
+		if err != nil {
+			t.Fatalf("load fixture: %v", err)
+		}
+		if findings := Run([]*Package{pkg}, []*Analyzer{LaunchPath}); len(findings) != 0 {
+			t.Errorf("gpu-scoped package produced launchpath findings: %v", findings)
+		}
+	})
+}
+
+// TestMalformedSuppression checks that a reasonless //lint:ignore directive
+// is itself reported and does not suppress the finding under it.
+func TestMalformedSuppression(t *testing.T) {
+	loader := newFixtureLoader(filepath.Join("testdata", "src"))
+	pkg, err := loader.load("malformed", "repro/cmd/malformed")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{ErrCheckStrict})
+	var sawMalformed, sawDrop bool
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "malformed suppression"):
+			sawMalformed = true
+		case f.Analyzer == "errcheckstrict":
+			sawDrop = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("missing malformed-suppression finding; got %v", findings)
+	}
+	if !sawDrop {
+		t.Errorf("reasonless directive must not suppress the finding below it; got %v", findings)
+	}
+}
+
+// TestFindingString pins the file:line: analyzer: message output format.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "nodeterminism", Message: "call to time.Now"}
+	f.Pos.Filename = "internal/core/core.go"
+	f.Pos.Line = 42
+	const want = "internal/core/core.go:42: nodeterminism: call to time.Now"
+	if got := f.String(); got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+// TestRepoIsClean runs every analyzer over the whole module and requires
+// zero findings: the invariants hold at HEAD. Skipped in -short mode because
+// it type-checks the full repository.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint is not short")
+	}
+	pkgs, err := Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	if findings := Run(pkgs, Analyzers()); len(findings) != 0 {
+		for _, f := range findings {
+			t.Errorf("finding at HEAD: %s", f)
+		}
+	}
+}

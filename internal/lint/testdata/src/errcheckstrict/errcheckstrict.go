@@ -1,0 +1,56 @@
+// Package fixture exercises the errcheckstrict analyzer: silently dropped
+// error results carry // want comments.
+package fixture
+
+import (
+	"os"
+	"strings"
+)
+
+type cache struct{}
+
+// Store mirrors the profile cache's store.
+func (c *cache) Store(key string) error { return nil }
+
+// drops discards error results implicitly.
+func drops(f *os.File, c *cache) {
+	f.Close()          // want "silently dropped"
+	c.Store("profile") // want "silently dropped"
+}
+
+// deferredClose drops the close error of a written file — the classic lost
+// ENOSPC.
+func deferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred"
+	_, err = f.WriteString("data")
+	return err
+}
+
+// handled checks the error.
+func handled(f *os.File) error {
+	return f.Close()
+}
+
+// acknowledged drops it explicitly: an audited decision, not flagged.
+func acknowledged(f *os.File) {
+	_ = f.Close()
+}
+
+// builder writes cannot fail; strings.Builder is exempt.
+func builder() string {
+	var b strings.Builder
+	b.WriteString("deterministic")
+	return b.String()
+}
+
+// suppressed shows a suppressed, reasoned exception.
+func suppressed(f *os.File) {
+	//lint:ignore errcheckstrict fixture exercising suppression
+	f.Close()
+}
+
+var _ = []any{drops, deferredClose, handled, acknowledged, builder, suppressed}

@@ -1,0 +1,68 @@
+// Package fixture exercises the finiteflow analyzer: unguarded float
+// divisions placed into serialization boundaries carry // want comments.
+package fixture
+
+import "math"
+
+type metrics struct {
+	Ratio float64 `json:"ratio"`
+	Safe  float64 `json:"safe"`
+}
+
+// Finite mirrors telemetry.Finite, the canonical clamp.
+func Finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// bad puts a raw ratio into a json-tagged struct: txns may be zero.
+func bad(insts, txns float64) metrics {
+	return metrics{
+		Ratio: insts / txns, // want "Finite/clamp guard"
+	}
+}
+
+// badArgs puts a raw ratio into a trace-args map.
+func badArgs(insts, txns float64) map[string]any {
+	return map[string]any{
+		"inst_intensity": insts / txns, // want "Finite/clamp guard"
+	}
+}
+
+// good guards every ratio: a Finite wrap, a clamp wrap, a floored
+// denominator, and a positive constant denominator.
+func good(insts, txns, ns float64) metrics {
+	return metrics{
+		Ratio: Finite(insts / txns),
+		Safe:  clamp01(insts / math.Max(txns, 1)),
+	}
+}
+
+func goodConst(ns float64) metrics {
+	return metrics{Ratio: ns / 1e9}
+}
+
+// suppressedRatio shows a suppressed, reasoned exception.
+func suppressedRatio(insts, txns float64) metrics {
+	//lint:ignore finiteflow fixture exercising suppression
+	return metrics{Ratio: insts / txns}
+}
+
+// point has no json tags: not a serialization boundary.
+type point struct{ X, Y float64 }
+
+func notBoundary(a, b float64) point { return point{X: a / b} }
+
+var _ = []any{bad, badArgs, good, goodConst, suppressedRatio, notBoundary}

@@ -1,0 +1,25 @@
+// Package gpu is a stand-in for repro/internal/gpu in launchpath fixtures:
+// the analyzer matches any package whose import path ends in "/gpu" (or is
+// "gpu"), so fixtures can exercise it without importing the real model.
+package gpu
+
+// Occupancy mirrors the model's occupancy outcome.
+type Occupancy struct {
+	BlocksPerSM int
+	WarpsPerSM  int
+}
+
+// LaunchResult mirrors the model's launch result.
+type LaunchResult struct {
+	Name string
+	Time float64
+	Occ  Occupancy
+}
+
+// Device mirrors the model device.
+type Device struct{}
+
+// Launch is the one sanctioned producer of LaunchResult values.
+func (d *Device) Launch(name string) (LaunchResult, error) {
+	return LaunchResult{Name: name, Occ: Occupancy{BlocksPerSM: 1, WarpsPerSM: 1}}, nil
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises the launchpath analyzer: constructing the
+// model's result types outside internal/gpu carries // want comments.
+package fixture
+
+import "gpu"
+
+// fabricate builds a modeled result by hand, bypassing the timing model.
+func fabricate() gpu.LaunchResult {
+	return gpu.LaunchResult{Name: "fake", Time: 1} // want "Device.Launch"
+}
+
+// handOcc computes occupancy outside the device model.
+func handOcc() gpu.Occupancy {
+	return gpu.Occupancy{BlocksPerSM: 16, WarpsPerSM: 32} // want "occupancy is computed by Device.Launch"
+}
+
+// launch obtains results the sanctioned way.
+func launch(d *gpu.Device) (gpu.LaunchResult, error) {
+	return d.Launch("k")
+}
+
+// LaunchResult is a like-named local type: not the model's, not flagged.
+type LaunchResult struct{ Name string }
+
+func local() LaunchResult { return LaunchResult{Name: "mine"} }
+
+// suppressed shows a suppressed, reasoned exception.
+func suppressed() gpu.LaunchResult {
+	//lint:ignore launchpath fixture exercising suppression
+	return gpu.LaunchResult{Name: "golden"}
+}
+
+var _ = []any{fabricate, handOcc, launch, local, suppressed}

@@ -1,0 +1,12 @@
+// Package malformed holds a reasonless suppression directive: the directive
+// itself is reported and does not suppress the finding below it.
+package malformed
+
+import "os"
+
+func drop(f *os.File) {
+	//lint:ignore errcheckstrict
+	f.Close()
+}
+
+var _ = drop

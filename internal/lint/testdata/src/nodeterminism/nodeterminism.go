@@ -1,0 +1,55 @@
+// Package fixture exercises the nodeterminism analyzer: true positives
+// carry // want comments, the rest are false-positive coverage.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads the wall clock in model code.
+func wallClock() float64 {
+	start := time.Now()                // want "time.Now"
+	return time.Since(start).Seconds() // want "time.Since"
+}
+
+// suppressedWallClock shows a suppressed, reasoned exception.
+func suppressedWallClock() time.Time {
+	//lint:ignore nodeterminism fixture exercising suppression
+	return time.Now()
+}
+
+// globalRand draws from the process-global random source.
+func globalRand() int {
+	return rand.Intn(10) // want "global random source"
+}
+
+// seededRand uses a seeded generator: deterministic, allowed.
+func seededRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// emitUnsorted lets map iteration order reach the output stream.
+func emitUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// emitSorted collects and sorts keys first: the deterministic idiom.
+func emitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+var _ = []any{wallClock, suppressedWallClock, globalRand, seededRand, emitUnsorted, emitSorted}

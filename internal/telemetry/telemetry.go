@@ -105,10 +105,14 @@ func ThreadName(track Track, tid int, name string) Event {
 }
 
 // epoch anchors the host-track clock at process start.
+//
+//lint:ignore nodeterminism the host track is wall time by definition; the modeled track stays deterministic
 var epoch = time.Now()
 
 // Now returns seconds since the process telemetry epoch — the timestamp
 // base for TrackHost events.
+//
+//lint:ignore nodeterminism the host track is wall time by definition; the modeled track stays deterministic
 func Now() float64 { return time.Since(epoch).Seconds() }
 
 // Recorder is an in-memory Tracer: it buffers events under a mutex for
