@@ -20,6 +20,7 @@ import (
 	"repro/internal/roofline"
 	"repro/internal/stats"
 	"repro/internal/survey"
+	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
@@ -142,7 +143,7 @@ func BenchmarkFigure4(b *testing.B) {
 	model := roofline.ForDevice(base.Device)
 	mixed := 0
 	for _, p := range base.Profiles {
-		var mem, cmp float64
+		var mem, cmp units.Fraction
 		for _, k := range p.Kernels {
 			if k.TimeShare < 0.1 {
 				continue
@@ -408,7 +409,7 @@ func BenchmarkAblationBFS(b *testing.B) {
 		if _, err := graphx.GunrockBFS(g, src, graphx.BFSConfig{DirectionOptimized: true}, sess); err != nil {
 			b.Fatal(err)
 		}
-		gunrockTime = sess.TotalTime()
+		gunrockTime = sess.TotalTime().Float()
 	}
 	b.ReportMetric(gunrockTime*1e3, "gunrock_ms")
 }

@@ -13,6 +13,7 @@
 //	cactus trace <abbr> [file]
 //	cactus compare <abbr> [...]
 //	cactus lint [abbr ...]
+//	cactus audit [abbr ...]
 //	cactus figure <1..9>
 //	cactus table <1..4>
 //	cactus all
@@ -36,6 +37,14 @@
 // the SM budget, degenerate grids, and zero theoretical occupancy. Exit is
 // nonzero on any violation. The code-level companion is cmd/cactuslint.
 //
+// `cactus audit` replays every registered workload's launches through the
+// real timing model and audits each result for metric soundness
+// (gpu.CheckResult): fractional metrics finite and within [0,1], stall
+// shares summing to at most 1, instruction intensity and GIPS consistent
+// with the instruction mix and modeled time, DRAM read throughput under
+// the device peak, and per-kernel times adding up to the session total.
+// Exit is nonzero on any violation.
+//
 // `cactus trace <abbr>` records one workload's launch timeline as Chrome
 // trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev):
 // the modeled-GPU-time track lays kernels end to end using modeled
@@ -48,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -62,6 +72,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
@@ -87,7 +98,7 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, lint, figure, table, all)")
+		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, lint, audit, figure, table, all)")
 	}
 
 	var cfg gpu.DeviceConfig
@@ -113,7 +124,7 @@ func run(args []string, out, errOut io.Writer) error {
 				fmt.Fprintf(errOut, "cactus: %s: cache store failed: %v\n", p.Abbr, p.StoreErr)
 			}
 			fmt.Fprintf(errOut, "cactus: %s: %d kernels, modeled %.3f ms, wall %s, cache %s\n",
-				p.Abbr, p.Kernels, p.ModeledTime*1e3,
+				p.Abbr, p.Kernels, p.ModeledTime.Millis(),
 				p.Wall.Round(time.Millisecond), p.Cache)
 		}
 	}
@@ -200,8 +211,8 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		}
 		for _, p := range st.Profiles {
 			fmt.Fprintf(out, "%s: %d kernels, %.3f ms GPU time, %s warp insts, agg II %.2f, agg GIPS %.1f\n",
-				p.Abbr(), len(p.Kernels), p.TotalTime*1e3,
-				fmtCount(p.TotalWarpInsts), p.AggII, p.AggGIPS)
+				p.Abbr(), len(p.Kernels), p.TotalTime.Millis(),
+				fmtCount(uint64(p.TotalWarpInsts)), p.AggII, p.AggGIPS)
 		}
 		return nil
 
@@ -258,7 +269,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 			return err
 		}
 		fmt.Fprintf(errOut, "traced %d launches, modeled %.3f ms\n",
-			sess.LaunchCount(), sess.TotalTime()*1e3)
+			sess.LaunchCount(), sess.TotalTime().Millis())
 		return nil
 
 	case "profile":
@@ -274,7 +285,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 			return err
 		}
 		tbl := report.NewTable(
-			fmt.Sprintf("%s — %s (%.3f ms GPU time)", w.Abbr(), w.Name(), p.TotalTime*1e3),
+			fmt.Sprintf("%s — %s (%.3f ms GPU time)", w.Abbr(), w.Name(), p.TotalTime.Millis()),
 			"kernel", "share", "inv", "II", "GIPS", "occ", "SM eff", "L1", "L2", "mem stall")
 		for _, k := range p.Kernels {
 			m := k.Metrics
@@ -397,6 +408,20 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		}
 		return lintWorkloads(ws, cfg, out, errOut)
 
+	case "audit":
+		ws := cat.All()
+		if len(rest) > 1 {
+			ws = ws[:0]
+			for _, abbr := range rest[1:] {
+				w, err := cat.Lookup(abbr)
+				if err != nil {
+					return err
+				}
+				ws = append(ws, w)
+			}
+		}
+		return auditWorkloads(ws, cfg, out, errOut)
+
 	case "all":
 		st, err := core.NewStudyWith(cfg, opts, cat.All()...)
 		if err != nil {
@@ -482,6 +507,67 @@ func lintWorkloads(ws []workloads.Workload, cfg gpu.DeviceConfig, out, errOut io
 		len(ws), launches, violations)
 	if violations > 0 {
 		return fmt.Errorf("lint: %d kernel-spec violation(s)", violations)
+	}
+	return nil
+}
+
+// auditWorkloads replays each workload on the real timing model and audits
+// every launch result for metric soundness (gpu.CheckResult), plus the
+// session-level identity that per-kernel times sum to the session total.
+// One line per (kernel, rule) with the number of offending launches; returns
+// an error (nonzero exit) when any violation is found.
+func auditWorkloads(ws []workloads.Workload, cfg gpu.DeviceConfig, out, errOut io.Writer) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var launches, violations int
+	for _, w := range ws {
+		dev, err := gpu.New(cfg)
+		if err != nil {
+			return err
+		}
+		sess := profiler.NewSession(dev)
+		if err := w.Run(sess); err != nil {
+			return fmt.Errorf("audit: %s: %w", w.Abbr(), err)
+		}
+		ls := sess.Launches()
+		launches += len(ls)
+
+		type key struct{ kernel, rule string }
+		counts := make(map[key]int)
+		details := make(map[key]string)
+		var order []key
+		for _, l := range ls {
+			for _, issue := range gpu.CheckResult(cfg, l) {
+				k := key{l.Name, issue.Rule}
+				if counts[k] == 0 {
+					order = append(order, k)
+					details[k] = issue.Detail
+				}
+				counts[k]++
+			}
+		}
+		var kernelSum units.Seconds
+		for _, kp := range sess.Kernels() {
+			kernelSum += kp.TotalTime
+		}
+		total := sess.TotalTime().Float()
+		if diff := math.Abs(kernelSum.Float() - total); diff > 1e-9*math.Max(total, 1e-12) {
+			k := key{"(session)", "time-sum"}
+			order = append(order, k)
+			details[k] = fmt.Sprintf("per-kernel times sum to %.9g s, session total is %.9g s", kernelSum.Float(), total)
+			counts[k] = 1
+		}
+		for _, k := range order {
+			fmt.Fprintf(out, "%s/%s: kernel %s: %s: %s (%d launches)\n",
+				w.Suite(), w.Abbr(), k.kernel, k.rule, details[k], counts[k])
+			violations++
+		}
+	}
+	fmt.Fprintf(errOut, "cactus audit: %d workloads, %d launches audited, %d violations\n",
+		len(ws), launches, violations)
+	if violations > 0 {
+		return fmt.Errorf("audit: %d metric-soundness violation(s)", violations)
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ func TestRunArgValidation(t *testing.T) {
 		{"profile unknown workload", []string{"profile", "XYZ"}},
 		{"export wrong arity", []string{"export"}},
 		{"compare without workload", []string{"compare"}},
+		{"audit unknown workload", []string{"audit", "XYZ"}},
 	}
 	for _, tc := range cases {
 		if err := run(tc.args, io.Discard, io.Discard); err == nil {
@@ -46,11 +47,28 @@ func TestUsageListsEveryCommand(t *testing.T) {
 		t.Fatal("expected a missing-command error")
 	}
 	for _, cmd := range []string{
-		"list", "device", "run", "profile", "export", "trace", "compare", "figure", "table", "all",
+		"list", "device", "run", "profile", "export", "trace", "compare", "lint", "audit", "figure", "table", "all",
 	} {
 		if !strings.Contains(err.Error(), cmd) {
 			t.Errorf("usage error %q omits command %q", err, cmd)
 		}
+	}
+}
+
+// TestAuditCommand replays a small workload subset through the metric
+// audit: the model must pass its own soundness checks, and the stderr
+// summary must account for every launch.
+func TestAuditCommand(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"audit", "GMS", "pb-sgemm", "rd-kmeans"}, &out, &errOut); err != nil {
+		t.Fatalf("audit: %v\n%s", err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean audit wrote violations:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "3 workloads") ||
+		!strings.Contains(errOut.String(), "0 violations") {
+		t.Errorf("audit summary = %q", errOut.String())
 	}
 }
 

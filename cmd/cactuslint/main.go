@@ -17,10 +17,17 @@
 // Flags:
 //
 //	-analyzers a,b   run only the named analyzers (default: all)
+//	-json            print findings as JSON objects, one per line
 //	-list            print the analyzers and exit
+//
+// With -json each finding is one object per line, for tooling (the GitHub
+// Actions problem matcher in .github/cactuslint-matcher.json consumes it):
+//
+//	{"file":"internal/gpu/launch.go","line":42,"analyzer":"unitsafety","message":"..."}
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +54,7 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 	fs := flag.NewFlagSet("cactuslint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	names := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "print findings as JSON objects, one per line")
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -93,6 +101,12 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 				pos = rel
 			}
 		}
+		if *asJSON {
+			if err := printJSON(out, pos, f); err != nil {
+				return 2, err
+			}
+			continue
+		}
 		fmt.Fprintf(out, "%s:%d: %s: %s\n", pos, f.Pos.Line, f.Analyzer, f.Message)
 	}
 	if len(findings) > 0 {
@@ -100,4 +114,25 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// jsonFinding is the -json wire shape: one object per line, stable field
+// order, relative file path.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printJSON emits one finding as a single JSON line.
+func printJSON(out io.Writer, file string, f lint.Finding) error {
+	data, err := json.Marshal(jsonFinding{
+		File: file, Line: f.Pos.Line, Analyzer: f.Analyzer, Message: f.Message,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", data)
+	return err
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestListFlagNamesEveryAnalyzer(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-list"}, &out, io.Discard)
+	if err != nil || code != 0 {
+		t.Fatalf("run(-list) = %d, %v", code, err)
+	}
+	for _, name := range []string{"nodeterminism", "finiteflow", "launchpath", "errcheckstrict", "unitsafety"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output omits %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, err := run([]string{"-analyzers", "nope"}, io.Discard, io.Discard)
+	if err == nil || code != 2 {
+		t.Fatalf("run = %d, %v; want code 2 and an error", code, err)
+	}
+}
+
+// TestJSONLineShape pins the -json wire format one problem-matcher regexp
+// consumes: exactly {"file":...,"line":...,"analyzer":...,"message":...}
+// per line, with JSON escaping applied to the message.
+func TestJSONLineShape(t *testing.T) {
+	var out strings.Builder
+	f := lint.Finding{Analyzer: "unitsafety", Message: `bare numeric literal "2.5"`}
+	f.Pos.Line = 42
+	if err := printJSON(&out, "internal/gpu/launch.go", f); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"file":"internal/gpu/launch.go","line":42,"analyzer":"unitsafety","message":"bare numeric literal \"2.5\""}` + "\n"
+	if out.String() != want {
+		t.Errorf("printJSON = %q, want %q", out.String(), want)
+	}
+}
+
+// TestJSONCleanPackage runs the real pipeline with -json over a package
+// that is clean at HEAD: exit code 0 and no output lines.
+func TestJSONCleanPackage(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-json", "repro/internal/units"}, &out, io.Discard)
+	if err != nil || code != 0 {
+		t.Fatalf("run = %d, %v\n%s", code, err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean package produced output:\n%s", out.String())
+	}
+}

@@ -68,9 +68,9 @@ func studyCSV(t *testing.T, st *core.Study) []byte {
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	var rows [][]string
 	for _, p := range st.Profiles {
-		rows = append(rows, []string{p.Abbr(), "", g(p.TotalTime), g(p.AggII), g(p.AggGIPS)})
+		rows = append(rows, []string{p.Abbr(), "", g(p.TotalTime.Float()), g(p.AggII), g(p.AggGIPS)})
 		for _, k := range p.Kernels {
-			rows = append(rows, []string{p.Abbr(), k.Name, g(k.TimeShare), g(k.II()), g(k.GIPS())})
+			rows = append(rows, []string{p.Abbr(), k.Name, g(k.TimeShare.Float()), g(k.II()), g(k.GIPS())})
 		}
 	}
 	var buf bytes.Buffer

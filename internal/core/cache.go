@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/profiler"
+	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
@@ -163,8 +164,8 @@ func (c *ProfileCache) Probe(w workloads.Workload, cfg gpu.DeviceConfig) (*Profi
 	}
 	p := &Profile{
 		Workload:       w,
-		TotalTime:      e.TotalTime,
-		TotalWarpInsts: e.TotalWarpInsts,
+		TotalTime:      units.Seconds(e.TotalTime),
+		TotalWarpInsts: units.WarpInsts(e.TotalWarpInsts),
 		AggII:          e.AggII,
 		AggGIPS:        e.AggGIPS,
 		Kernels:        make([]KernelChar, len(e.Kernels)),
@@ -173,7 +174,7 @@ func (c *ProfileCache) Probe(w workloads.Workload, cfg gpu.DeviceConfig) (*Profi
 		p.Kernels[i] = KernelChar{
 			Name:        k.Name,
 			Invocations: k.Invocations,
-			TimeShare:   k.TimeShare,
+			TimeShare:   units.Fraction(k.TimeShare),
 			Metrics:     k.Metrics,
 			instCount:   k.InstCount,
 		}
@@ -187,8 +188,8 @@ func (c *ProfileCache) Store(p *Profile, cfg gpu.DeviceConfig) error {
 		Schema:         CacheSchemaVersion,
 		Abbr:           p.Abbr(),
 		Device:         cfg.Name,
-		TotalTime:      p.TotalTime,
-		TotalWarpInsts: p.TotalWarpInsts,
+		TotalTime:      p.TotalTime.Float(),
+		TotalWarpInsts: uint64(p.TotalWarpInsts),
 		AggII:          p.AggII,
 		AggGIPS:        p.AggGIPS,
 		Kernels:        make([]cachedKernel, len(p.Kernels)),
@@ -197,7 +198,7 @@ func (c *ProfileCache) Store(p *Profile, cfg gpu.DeviceConfig) error {
 		e.Kernels[i] = cachedKernel{
 			Name:        k.Name,
 			Invocations: k.Invocations,
-			TimeShare:   k.TimeShare,
+			TimeShare:   k.TimeShare.Clamp01(),
 			InstCount:   k.instCount,
 			Metrics:     k.Metrics,
 		}

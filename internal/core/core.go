@@ -19,6 +19,7 @@ import (
 	"repro/internal/roofline"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
@@ -26,14 +27,14 @@ import (
 type KernelChar struct {
 	Name        string
 	Invocations int
-	TimeShare   float64 // fraction of the workload's GPU time
+	TimeShare   units.Fraction // fraction of the workload's GPU time
 	Metrics     profiler.Vector
 
 	instCount float64 // total warp instructions (Table I aggregation)
 }
 
 // WarpInstructions returns the kernel's total warp-instruction count.
-func (k KernelChar) WarpInstructions() uint64 { return uint64(k.instCount) }
+func (k KernelChar) WarpInstructions() units.WarpInsts { return units.WarpInsts(k.instCount) }
 
 // II returns the kernel's instruction intensity.
 func (k KernelChar) II() float64 { return k.Metrics.Get(profiler.InstIntensity) }
@@ -46,10 +47,10 @@ type Profile struct {
 	Workload workloads.Workload
 	// Kernels in descending time-share order (the paper's dominance rank).
 	Kernels []KernelChar
-	// TotalTime is the summed GPU time in seconds.
-	TotalTime float64
+	// TotalTime is the summed GPU time.
+	TotalTime units.Seconds
 	// TotalWarpInsts is the total executed warp instructions.
-	TotalWarpInsts uint64
+	TotalWarpInsts units.WarpInsts
 	// AggII and AggGIPS are the application-aggregate roofline coordinates
 	// (Fig. 5 plots these).
 	AggII, AggGIPS float64
@@ -60,8 +61,8 @@ func (p *Profile) Abbr() string { return p.Workload.Abbr() }
 
 // KernelsFor returns how many dominant kernels are needed to cover the
 // given fraction of GPU time (Table I's "70% execution time" column).
-func (p *Profile) KernelsFor(frac float64) int {
-	cum := 0.0
+func (p *Profile) KernelsFor(frac units.Fraction) int {
+	var cum units.Fraction
 	for i, k := range p.Kernels {
 		cum += k.TimeShare
 		if cum >= frac {
@@ -82,7 +83,7 @@ func (p *Profile) CumulativeShares(maxK int) []float64 {
 	out := make([]float64, n)
 	cum := 0.0
 	for i := 0; i < n; i++ {
-		cum += p.Kernels[i].TimeShare
+		cum += p.Kernels[i].TimeShare.Float()
 		out[i] = cum
 	}
 	return out
@@ -90,7 +91,7 @@ func (p *Profile) CumulativeShares(maxK int) []float64 {
 
 // DominantKernels returns the smallest prefix of kernels covering frac of
 // the GPU time — the paper's dominant-kernel set.
-func (p *Profile) DominantKernels(frac float64) []KernelChar {
+func (p *Profile) DominantKernels(frac units.Fraction) []KernelChar {
 	return p.Kernels[:p.KernelsFor(frac)]
 }
 
@@ -100,7 +101,7 @@ func (p *Profile) DominantKernels(frac float64) []KernelChar {
 func (p *Profile) WeightedAvgInstsPerKernel() float64 {
 	var avg float64
 	for _, k := range p.Kernels {
-		avg += k.TimeShare * k.instCount
+		avg += k.TimeShare.Float() * k.instCount
 	}
 	return avg
 }
@@ -155,22 +156,19 @@ func profileFromSession(w workloads.Workload, sess *profiler.Session) (*Profile,
 		TotalTime:      total,
 		TotalWarpInsts: sess.TotalWarpInstructions(),
 	}
-	var txns uint64
+	var txns units.Txns
 	for _, l := range sess.Launches() {
 		txns += l.Traffic.DRAMTxns
 	}
-	if txns == 0 {
-		txns = 1
-	}
-	p.AggII = float64(p.TotalWarpInsts) / float64(txns)
-	p.AggGIPS = float64(p.TotalWarpInsts) / total / 1e9
+	p.AggII = units.IntensityFloor1(p.TotalWarpInsts, txns)
+	p.AggGIPS = p.TotalWarpInsts.PerSec(total) / 1e9
 	for _, k := range sess.Kernels() {
 		p.Kernels = append(p.Kernels, KernelChar{
 			Name:        k.Name,
 			Invocations: k.Invocations,
-			TimeShare:   k.TotalTime / total,
+			TimeShare:   units.Share(k.TotalTime, total),
 			Metrics:     k.Metrics(),
-			instCount:   float64(k.WarpInstructions()),
+			instCount:   k.WarpInstructions().Float(),
 		})
 	}
 	return p, nil
@@ -222,8 +220,8 @@ type WorkloadProgress struct {
 	Abbr string
 	// Kernels is the number of distinct kernels in the profile.
 	Kernels int
-	// ModeledTime is the workload's modeled GPU time in seconds.
-	ModeledTime float64
+	// ModeledTime is the workload's modeled GPU time.
+	ModeledTime units.Seconds
 	// Wall is the host wall time spent producing the profile (simulation
 	// or cache load, including the cache probe and store).
 	Wall time.Duration
@@ -386,7 +384,7 @@ func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOp
 	//lint:ignore nodeterminism wall time is telemetry about the pipeline, not model output
 	wall := time.Since(wallStart)
 	opts.Counters.Add(telemetry.CtrWorkloads, 1)
-	opts.Counters.Add(telemetry.WorkloadModeledNs(w.Abbr()), int64(p.TotalTime*1e9))
+	opts.Counters.Add(telemetry.WorkloadModeledNs(w.Abbr()), int64(p.TotalTime.Nanos()))
 	opts.Counters.Add(telemetry.WorkloadWallNs(w.Abbr()), wall.Nanoseconds())
 	if tr.Enabled() {
 		tr.Emit(telemetry.Event{
@@ -396,7 +394,7 @@ func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOp
 			Args: map[string]any{
 				"cache":      outcome.String(),
 				"kernels":    len(p.Kernels),
-				"modeled_ms": p.TotalTime * 1e3,
+				"modeled_ms": p.TotalTime.Millis(),
 			},
 		})
 	}
@@ -455,7 +453,7 @@ type Observation struct {
 }
 
 // DominantObservations extracts dominant-kernel observations from profiles.
-func DominantObservations(profiles []*Profile, frac float64) []Observation {
+func DominantObservations(profiles []*Profile, frac units.Fraction) []Observation {
 	var out []Observation
 	for _, p := range profiles {
 		for _, k := range p.DominantKernels(frac) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/roofline"
 	"repro/internal/suites/parboil"
+	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
@@ -72,14 +73,14 @@ func TestProfileBasics(t *testing.T) {
 		t.Errorf("GMS kernels = %d, want 9 (Table I)", len(p.Kernels))
 	}
 	// Shares sum to ~1 and are sorted descending.
-	var sum float64
+	var sum units.Fraction
 	for i, k := range p.Kernels {
 		sum += k.TimeShare
 		if i > 0 && k.TimeShare > p.Kernels[i-1].TimeShare+1e-12 {
 			t.Error("kernels not sorted by time share")
 		}
 	}
-	if math.Abs(sum-1) > 1e-9 {
+	if math.Abs(sum.Float()-1) > 1e-9 {
 		t.Errorf("shares sum to %g", sum)
 	}
 	if p.KernelsFor(0.7) > 4 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/roofline"
 	"repro/internal/survey"
+	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
@@ -50,7 +51,7 @@ func Figure2(st *Study, w io.Writer) error {
 			continue
 		}
 		baselines++
-		var shares []float64
+		var shares []units.Fraction
 		for _, k := range p.Kernels {
 			shares = append(shares, k.TimeShare)
 		}

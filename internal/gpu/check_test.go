@@ -1,0 +1,87 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/units"
+)
+
+// TestCheckResultCleanOnModel verifies that everything the timing model
+// actually produces passes the metric audit: a compute-bound kernel, a
+// memory-bound kernel, and a zero-DRAM kernel (whose instruction intensity
+// is consistently +Inf on both sides of the identity).
+func TestCheckResultCleanOnModel(t *testing.T) {
+	d := dev(t)
+	cfg := d.Config()
+	var noTraffic isa.Mix
+	noTraffic.Add(isa.FP32, 1<<20)
+	noTraffic.Add(isa.Misc, 1<<10)
+	specs := []KernelSpec{
+		computeSpec(1 << 22),
+		memSpec(64 << 20),
+		{Name: "alu-only", Grid: D1(1024), Block: D1(256), Mix: noTraffic},
+	}
+	for _, spec := range specs {
+		res, err := d.Launch(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if issues := CheckResult(cfg, res); len(issues) != 0 {
+			t.Errorf("%s: modeled result fails its own audit: %v", spec.Name, issues)
+		}
+	}
+}
+
+// TestCheckResultRules corrupts one field at a time and checks the audit
+// catches each class of inconsistency.
+func TestCheckResultRules(t *testing.T) {
+	d := dev(t)
+	cfg := d.Config()
+	base, err := d.Launch(computeSpec(1 << 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name     string
+		mutate   func(*LaunchResult)
+		wantRule string
+	}{
+		{"negative-time", func(r *LaunchResult) { r.Time = -1e-6 }, "time"},
+		{"zero-time", func(r *LaunchResult) { r.Time = 0 }, "time"},
+		{"efficiency-above-one", func(r *LaunchResult) { r.SMEfficiency = 1.5 }, "fraction-range"},
+		{"nan-util", func(r *LaunchResult) { r.LDSTUtil = units.Fraction(math.NaN()) }, "fraction-range"},
+		{"negative-stall", func(r *LaunchResult) { r.StallSync = -0.1 }, "fraction-range"},
+		{"stalls-over-one", func(r *LaunchResult) {
+			r.StallExec, r.StallPipe, r.StallSync, r.StallMem = 0.4, 0.3, 0.3, 0.3
+		}, "stall-sum"},
+		{"intensity-drift", func(r *LaunchResult) { r.InstIntensity *= 2 }, "intensity"},
+		{"intensity-spurious-inf", func(r *LaunchResult) { r.InstIntensity = math.Inf(1) }, "intensity"},
+		{"gips-drift", func(r *LaunchResult) { r.GIPS *= 1.01 }, "gips"},
+		{"throughput-over-peak", func(r *LaunchResult) {
+			r.DRAMReadBytesPerSec = units.BytesPerSec(cfg.DRAMBandwidth * 2e9)
+		}, "dram-throughput"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := base
+			tt.mutate(&r)
+			issues := CheckResult(cfg, r)
+			for _, i := range issues {
+				if i.Rule == tt.wantRule {
+					return
+				}
+			}
+			t.Errorf("CheckResult issues = %v, want rule %q", issues, tt.wantRule)
+		})
+	}
+}
+
+// TestMetricIssueString pins the "rule: detail" rendering.
+func TestMetricIssueString(t *testing.T) {
+	i := MetricIssue{Rule: "gips", Detail: "drift"}
+	if got := i.String(); got != "gips: drift" {
+		t.Errorf("String() = %q", got)
+	}
+}

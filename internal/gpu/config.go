@@ -60,6 +60,10 @@ type DeviceConfig struct {
 	MaxWarpsPerSM   int
 	MaxBlocksPerSM  int
 	WarpSize        int
+	// LDSTPerSM is the number of load/store ports per SM (lanes servicing
+	// one memory request each per cycle). Zero means the Ampere default of
+	// 32 (one warp memory instruction per SM per cycle).
+	LDSTPerSM int
 	// LaunchOverheadNs is the fixed host->device launch latency added to
 	// every kernel. It creates the latency-bound region of the roofline for
 	// short kernels.
@@ -85,6 +89,7 @@ func RTX3080() DeviceConfig {
 		MaxWarpsPerSM:    48,
 		MaxBlocksPerSM:   16,
 		WarpSize:         32,
+		LDSTPerSM:        32,
 		LaunchOverheadNs: 2500,
 	}
 }
@@ -107,6 +112,7 @@ func GTX1080() DeviceConfig {
 		MaxWarpsPerSM:    64,
 		MaxBlocksPerSM:   32,
 		WarpSize:         32,
+		LDSTPerSM:        32,
 		LaunchOverheadNs: 3500,
 	}
 }
@@ -126,8 +132,35 @@ func (c DeviceConfig) Validate() error {
 		return fmt.Errorf("gpu: %s: WarpSize=%d (model requires 32)", c.Name, c.WarpSize)
 	case c.MaxWarpsPerSM <= 0 || c.MaxBlocksPerSM <= 0:
 		return fmt.Errorf("gpu: %s: occupancy limits unset", c.Name)
+	case c.LDSTPerSM < 0:
+		return fmt.Errorf("gpu: %s: LDSTPerSM=%d", c.Name, c.LDSTPerSM)
 	}
 	return nil
+}
+
+// SPRate returns the FP32 pipe throughput in warp instructions per cycle
+// per SM: CoresPerSM lanes each retiring one FMA per cycle, divided by the
+// warp width (4 warp insts/cycle for a 128-core Ampere SM). An unset core
+// count falls back to the Ampere default.
+func (c DeviceConfig) SPRate() float64 {
+	if c.CoresPerSM <= 0 || c.WarpSize <= 0 {
+		return 4
+	}
+	return float64(c.CoresPerSM) / float64(c.WarpSize)
+}
+
+// LDSTRate returns the load/store pipe throughput in warp instructions per
+// cycle per SM: LDSTPerSM ports over the warp width (1 warp memory inst per
+// cycle for the Ampere default of 32 ports).
+func (c DeviceConfig) LDSTRate() float64 {
+	n := c.LDSTPerSM
+	if n <= 0 {
+		n = 32
+	}
+	if c.WarpSize <= 0 {
+		return float64(n) / 32
+	}
+	return float64(n) / float64(c.WarpSize)
 }
 
 // PeakGIPS returns the peak warp-instruction issue rate in Giga warp

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/memsim"
+	"repro/internal/units"
 )
 
 func TestRTX3080Roofs(t *testing.T) {
@@ -316,7 +317,7 @@ func TestStallsAreRatios(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for name, v := range map[string]float64{
+		for name, v := range map[string]units.Fraction{
 			"exec": res.StallExec, "pipe": res.StallPipe,
 			"sync": res.StallSync, "mem": res.StallMem,
 		} {

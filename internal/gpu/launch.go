@@ -8,15 +8,17 @@ import (
 	"repro/internal/isa"
 	"repro/internal/memsim"
 	"repro/internal/telemetry"
+	"repro/internal/units"
 )
 
 // pipeRate returns a class's per-SM throughput in warp instructions per
-// cycle, modeling an Ampere SM: 128 FP32 lanes (4 warp FMA/cycle), 2 FP64
-// units, 64 INT32 lanes, 4 SFU ports, 16 LD/ST ports.
-func pipeRate(c isa.Class) float64 {
+// cycle on device c. The FP32 and load/store rates derive from the config
+// (CoresPerSM/WarpSize and LDSTPerSM/WarpSize); the remaining classes model
+// fixed Ampere ratios: 2 FP64 units, 64 INT32 lanes, 16 SFU ports.
+func pipeRate(cfg DeviceConfig, c isa.Class) float64 {
 	switch c {
 	case isa.FP32, isa.Tensor:
-		return 4
+		return cfg.SPRate()
 	case isa.FP64:
 		return 0.0625
 	case isa.INT:
@@ -24,11 +26,11 @@ func pipeRate(c isa.Class) float64 {
 	case isa.SFU:
 		return 0.5
 	case isa.LoadGlobal, isa.StoreGlobal, isa.LoadShared, isa.StoreShared, isa.LoadConst:
-		return 1
+		return cfg.LDSTRate()
 	case isa.Branch, isa.Sync, isa.Misc:
-		return 4 // issue-limited only
+		return float64(cfg.SchedulersPerSM) // issue-limited only
 	}
-	return 4
+	return float64(cfg.SchedulersPerSM)
 }
 
 // LaunchResult reports the modeled execution of one kernel launch, carrying
@@ -37,9 +39,8 @@ type LaunchResult struct {
 	Name        string
 	Grid, Block Dim3
 
-	// Time is the modeled kernel duration in seconds, including launch
-	// overhead.
-	Time float64
+	// Time is the modeled kernel duration, including launch overhead.
+	Time units.Seconds
 	// Mix is the executed warp-instruction histogram.
 	Mix isa.Mix
 	// Traffic is the resolved global-memory traffic.
@@ -49,8 +50,10 @@ type LaunchResult struct {
 
 	// SMEfficiency is the fraction of kernel time with at least one active
 	// warp per SM.
-	SMEfficiency float64
-	// GIPS is achieved Giga warp instructions per second.
+	SMEfficiency units.Fraction
+	// GIPS is achieved Giga warp instructions per second. GIPS and
+	// InstIntensity stay raw float64: they are derived rates the roofline
+	// plots directly, not one of the base dimensions.
 	GIPS float64
 	// InstIntensity is warp instructions per DRAM transaction (the roofline
 	// x-axis). Infinite (math.Inf) when the kernel produced no DRAM traffic;
@@ -59,11 +62,11 @@ type LaunchResult struct {
 	// floor the transaction count at 1 (encoding/json rejects ±Inf).
 	InstIntensity float64
 	// DRAMReadBytesPerSec is the achieved DRAM read throughput.
-	DRAMReadBytesPerSec float64
+	DRAMReadBytesPerSec units.BytesPerSec
 	// LDSTUtil and SPUtil are the load/store- and FP32-pipe busy fractions.
-	LDSTUtil, SPUtil float64
+	LDSTUtil, SPUtil units.Fraction
 	// Stall ratios (fractions of issue opportunities lost per cause).
-	StallExec, StallPipe, StallSync, StallMem float64
+	StallExec, StallPipe, StallSync, StallMem units.Fraction
 }
 
 // Device models one GPU. Launch is safe for concurrent use; trace replay is
@@ -212,7 +215,7 @@ func (d *Device) Launch(spec KernelSpec) (LaunchResult, error) {
 		if n == 0 {
 			continue
 		}
-		t := float64(n) / (pipeRate(c) * float64(d.cfg.NumSMs) * clockHz)
+		t := float64(n) / (pipeRate(d.cfg, c) * float64(d.cfg.NumSMs) * clockHz)
 		if t > tPipe {
 			tPipe, pipeClass = t, c
 		}
@@ -224,32 +227,30 @@ func (d *Device) Launch(spec KernelSpec) (LaunchResult, error) {
 
 	// Barriers serialize block phases: charge ~30 stall cycles per sync
 	// warp instruction on its scheduler.
-	tSync := float64(mix.Count(isa.Sync)) * 30 / issueRate
+	syncStall := units.Cycles(30 * float64(mix.Count(isa.Sync)))
+	tSync := syncStall.AtRate(issueRate).Float()
 
 	tExec := math.Max(tCompute, tMem) + tSync
-	tTotal := tExec + spec.LaunchOverhead(d.cfg)
+	tTotal := tExec + spec.LaunchOverhead(d.cfg).Float()
 
 	// --- Derived metrics --------------------------------------------------
 	res := LaunchResult{
 		Name:    spec.Name,
 		Grid:    spec.Grid,
 		Block:   spec.Block,
-		Time:    tTotal,
+		Time:    units.Seconds(tTotal),
 		Mix:     mix,
 		Traffic: traffic,
 		Occ:     occ,
 	}
-	res.GIPS = float64(total) / tTotal / 1e9
-	if traffic.DRAMTxns > 0 {
-		res.InstIntensity = float64(total) / float64(traffic.DRAMTxns)
-	} else {
-		res.InstIntensity = math.Inf(1)
-	}
-	res.DRAMReadBytesPerSec = float64(traffic.DRAMReadTx) * float64(memsim.SectorBytes) / tTotal
+	res.GIPS = units.WarpInsts(total).PerSec(res.Time) / 1e9
+	res.InstIntensity = units.Intensity(units.WarpInsts(total), traffic.DRAMTxns)
+	res.DRAMReadBytesPerSec = units.Throughput(
+		traffic.DRAMReadTx.Bytes(memsim.SectorBytes), res.Time)
 
 	lsuInsts := mix.MemoryOps()
-	res.LDSTUtil = clamp01(float64(lsuInsts) / (1 * float64(d.cfg.NumSMs) * clockHz * tTotal))
-	res.SPUtil = clamp01(float64(mix.Count(isa.FP32)) / (4 * float64(d.cfg.NumSMs) * clockHz * tTotal))
+	res.LDSTUtil = units.Clamp01(float64(lsuInsts) / (d.cfg.LDSTRate() * float64(d.cfg.NumSMs) * clockHz * tTotal))
+	res.SPUtil = units.Clamp01(float64(mix.Count(isa.FP32)) / (d.cfg.SPRate() * float64(d.cfg.NumSMs) * clockHz * tTotal))
 
 	res.SMEfficiency = smEfficiency(d.cfg, spec, occ)
 
@@ -258,14 +259,14 @@ func (d *Device) Launch(spec KernelSpec) (LaunchResult, error) {
 	if tExec > 0 {
 		memShare = clamp01(tMem/tExec)*0.85 + 0.1*globalFrac
 	}
-	res.StallMem = clamp01(memShare)
-	res.StallExec = clamp01(dep * (tCompute / math.Max(tExec, 1e-12)))
+	res.StallMem = units.Clamp01(memShare)
+	res.StallExec = units.Clamp01(dep * (tCompute / math.Max(tExec, 1e-12)))
 	pipeExcess := 0.0
 	if tPipe > tIssue && pipeClass.IsCompute() {
 		pipeExcess = (tPipe - tIssue) / tPipe
 	}
-	res.StallPipe = clamp01(pipeExcess * (tCompute / math.Max(tExec, 1e-12)))
-	res.StallSync = clamp01(tSync / math.Max(tExec, 1e-12))
+	res.StallPipe = units.Clamp01(pipeExcess * (tCompute / math.Max(tExec, 1e-12)))
+	res.StallSync = units.Clamp01(tSync / math.Max(tExec, 1e-12))
 	normalizeStalls(&res)
 
 	if d.counters != nil {
@@ -293,10 +294,10 @@ func (r LaunchResult) TelemetryArgs() map[string]any {
 		"grid":           fmt.Sprintf("%dx%dx%d", r.Grid.X, r.Grid.Y, r.Grid.Z),
 		"block":          fmt.Sprintf("%dx%dx%d", r.Block.X, r.Block.Y, r.Block.Z),
 		"warp_insts":     r.Mix.Total(),
-		"dram_txns":      r.Traffic.DRAMTxns,
-		"modeled_ns":     r.Time * 1e9,
+		"dram_txns":      uint64(r.Traffic.DRAMTxns),
+		"modeled_ns":     r.Time.Nanos(),
 		"gips":           r.GIPS,
-		"inst_intensity": float64(r.Mix.Total()) / math.Max(float64(r.Traffic.DRAMTxns), 1),
+		"inst_intensity": units.IntensityFloor1(units.WarpInsts(r.Mix.Total()), r.Traffic.DRAMTxns),
 	}
 }
 
@@ -310,15 +311,15 @@ func (d *Device) MustLaunch(spec KernelSpec) LaunchResult {
 	return res
 }
 
-// LaunchOverhead returns the fixed launch latency in seconds.
-func (k KernelSpec) LaunchOverhead(c DeviceConfig) float64 {
-	return c.LaunchOverheadNs * 1e-9
+// LaunchOverhead returns the fixed launch latency.
+func (k KernelSpec) LaunchOverhead(c DeviceConfig) units.Seconds {
+	return units.Seconds(c.LaunchOverheadNs * 1e-9)
 }
 
-func smEfficiency(c DeviceConfig, k KernelSpec, occ Occupancy) float64 {
+func smEfficiency(c DeviceConfig, k KernelSpec, occ Occupancy) units.Fraction {
 	blocks := k.Grid.Count()
 	if blocks < c.NumSMs {
-		return float64(blocks) / float64(c.NumSMs)
+		return units.Ratio(float64(blocks), float64(c.NumSMs))
 	}
 	perWave := c.NumSMs * occ.BlocksPerSM
 	waves := (blocks + perWave - 1) / perWave
@@ -331,7 +332,7 @@ func smEfficiency(c DeviceConfig, k KernelSpec, occ Occupancy) float64 {
 		busySMs = c.NumSMs
 	}
 	idleShare := float64(c.NumSMs-busySMs) / float64(c.NumSMs) / float64(waves)
-	return clamp01(1 - idleShare)
+	return units.Clamp01(1 - idleShare)
 }
 
 func normalizeStalls(r *LaunchResult) {
@@ -344,6 +345,8 @@ func normalizeStalls(r *LaunchResult) {
 	}
 }
 
+// clamp01 is the raw-float clamp used in model-internal stall math; typed
+// results go through units.Clamp01 instead.
 func clamp01(v float64) float64 {
 	if v < 0 {
 		return 0

@@ -1,0 +1,92 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestPipeRatesDeriveFromConfig pins the per-warp pipe rates to the device
+// configuration: the stock devices reproduce the former hard-coded widths
+// (SP 4, LDST 1 warp-insts/SM-cycle), and changing CoresPerSM or LDSTPerSM
+// moves the derived rates — they are no longer literals in the timing code.
+func TestPipeRatesDeriveFromConfig(t *testing.T) {
+	for _, cfg := range []DeviceConfig{RTX3080(), GTX1080()} {
+		if got := cfg.SPRate(); got != 4 {
+			t.Errorf("%s: SPRate() = %g, want 4 (CoresPerSM/WarpSize)", cfg.Name, got)
+		}
+		if got := cfg.LDSTRate(); got != 1 {
+			t.Errorf("%s: LDSTRate() = %g, want 1 (LDSTPerSM/WarpSize)", cfg.Name, got)
+		}
+	}
+	custom := RTX3080()
+	custom.CoresPerSM = 64
+	custom.LDSTPerSM = 16
+	if got := custom.SPRate(); got != 2 {
+		t.Errorf("SPRate() = %g, want 2 for 64 cores/SM", got)
+	}
+	if got := custom.LDSTRate(); got != 0.5 {
+		t.Errorf("LDSTRate() = %g, want 0.5 for 16 LDST units/SM", got)
+	}
+	// Zero LDSTPerSM keeps the Ampere default so legacy configs still work.
+	legacy := RTX3080()
+	legacy.LDSTPerSM = 0
+	if got := legacy.LDSTRate(); got != 1 {
+		t.Errorf("LDSTRate() = %g for zero LDSTPerSM, want the default 1", got)
+	}
+	if err := legacy.Validate(); err != nil {
+		t.Errorf("zero LDSTPerSM must validate: %v", err)
+	}
+}
+
+// TestPipeWidthAffectsTiming is the regression test for the former
+// hard-coded widths: narrowing a pipe in the config must slow down a kernel
+// bound by that pipe, by the rate ratio. A config edit that the old
+// literals would have ignored now changes the modeled time.
+func TestPipeWidthAffectsTiming(t *testing.T) {
+	// Load/store-bound: shared-memory loads keep DRAM out of the picture,
+	// and at rate 1 vs scheduler rate 4 the LDST pipe dominates issue.
+	var ldMix isa.Mix
+	ldMix.Add(isa.LoadShared, 1<<24)
+	ldSpec := KernelSpec{Name: "ld", Grid: D1(4096), Block: D1(256), Mix: ldMix}
+
+	base, err := New(RTX3080())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowCfg := RTX3080()
+	narrowCfg.LDSTPerSM = 8 // quarter width: rate 0.25
+	narrow, err := New(narrowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := base.MustLaunch(ldSpec)
+	rn := narrow.MustLaunch(ldSpec)
+	ratio := rn.Time.Float() / rb.Time.Float()
+	if ratio < 3.5 || ratio > 4.1 {
+		t.Errorf("quartering the LDST pipe scaled a load-bound kernel by %.2fx, want ~4x (%v vs %v)",
+			ratio, rn.Time, rb.Time)
+	}
+	if rn.LDSTUtil <= 0 || rb.LDSTUtil <= 0 {
+		t.Error("load-bound kernel with idle LDST pipe")
+	}
+
+	// FP32-bound: halving CoresPerSM halves SPRate; the pipe then overtakes
+	// the issue limit and the kernel slows down accordingly.
+	var fpMix isa.Mix
+	fpMix.Add(isa.FP32, 1<<24)
+	fpSpec := KernelSpec{Name: "fp", Grid: D1(4096), Block: D1(256), Mix: fpMix}
+	halfCfg := RTX3080()
+	halfCfg.CoresPerSM = 64
+	half, err := New(halfCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := base.MustLaunch(fpSpec)
+	fh := half.MustLaunch(fpSpec)
+	ratio = fh.Time.Float() / fb.Time.Float()
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("halving CoresPerSM scaled an FP32-bound kernel by %.2fx, want ~2x (%v vs %v)",
+			ratio, fh.Time, fb.Time)
+	}
+}

@@ -1,12 +1,14 @@
 package gpu
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/isa"
 	"repro/internal/memsim"
+	"repro/internal/units"
 )
 
 // randomSpec builds a random but valid kernel spec from a seed.
@@ -202,5 +204,66 @@ func TestTraceCoverageScaling(t *testing.T) {
 	ratio := float64(half.Traffic.Sectors) / float64(full.Traffic.Sectors)
 	if ratio < 1.99 || ratio > 2.01 {
 		t.Errorf("coverage 0.5 scaled traffic by %gx, want 2x", ratio)
+	}
+}
+
+// randomConfig perturbs the stock configuration into a random but valid
+// device: SM count, issue width, pipe widths, clock, bandwidth, and cache
+// geometry all vary, so metric soundness cannot depend on the RTX 3080's
+// particular ratios.
+func randomConfig(r *rand.Rand) DeviceConfig {
+	cfg := RTX3080()
+	cfg.Name = "prop-device"
+	cfg.NumSMs = 4 * (1 + r.Intn(32))
+	cfg.SchedulersPerSM = 1 << r.Intn(3)
+	cfg.CoresPerSM = 32 * (1 + r.Intn(4))
+	cfg.LDSTPerSM = 8 << r.Intn(3)
+	cfg.ClockGHz = 0.8 + r.Float64()
+	cfg.DRAMBandwidth = 100 + 900*r.Float64()
+	cfg.L2Bytes = (1 + r.Intn(8)) << 20
+	cfg.L1BytesPerSM = (16 + 16*r.Intn(8)) << 10
+	cfg.MaxWarpsPerSM = 16 * (1 + r.Intn(3))
+	cfg.LaunchOverheadNs = float64(r.Intn(20000))
+	return cfg
+}
+
+// Property (metric soundness): for any valid spec on any valid device,
+// every fractional metric of the launch result is finite and in [0,1], and
+// the full cross-metric audit (CheckResult) passes.
+func TestFractionalMetricsSoundAcrossDevices(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(r)
+		if err := cfg.Validate(); err != nil {
+			return false
+		}
+		d, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			res, err := d.Launch(randomSpec(r))
+			if err != nil {
+				return false
+			}
+			fracs := []units.Fraction{
+				res.SMEfficiency, res.LDSTUtil, res.SPUtil,
+				res.StallExec, res.StallPipe, res.StallSync, res.StallMem,
+				res.Traffic.L1HitRate(), res.Traffic.L2HitRate(),
+			}
+			for _, v := range fracs {
+				f := v.Float()
+				if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 || f > 1 {
+					return false
+				}
+			}
+			if issues := CheckResult(cfg, res); len(issues) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
 	}
 }

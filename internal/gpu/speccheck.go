@@ -23,12 +23,21 @@ func (i SpecIssue) String() string { return i.Rule + ": " + i.Detail }
 //   - grid: a grid dimension that is zero or negative — Dim3.Count floors
 //     such components to 1, so the model silently "fixes" a spec real
 //     hardware would reject
+//   - grid-limit: a grid dimension above the CUDA launch limits (X at most
+//     2³¹−1, Y and Z at most 65535) — cudaLaunchKernel rejects these with
+//     "invalid configuration argument"
+//   - grid-count: a total block count that is not positive even though
+//     every dimension is (integer overflow in X·Y·Z)
 //   - block: a block dimension that is zero or negative (same floor)
 //   - block-warp: a block size that is not a multiple of WarpSize; the
 //     trailing partial warp wastes lanes on every block
 //   - block-limit: more threads per block than the device schedules
 //   - shared-mem: SharedMemPerBlock exceeding the SM's shared budget — the
 //     launch would fail with CUDA's "too much shared data"
+//   - reg-file: one block's register demand (RegsPerThread × block size,
+//     with the model's default of 32 registers for unspecified specs)
+//     exceeding the SM register file — the launch would fail with "too many
+//     resources requested"
 //   - occupancy: zero theoretical occupancy (shared-memory or register
 //     demand means not even one block fits on an SM)
 func CheckSpec(c DeviceConfig, k KernelSpec) []SpecIssue {
@@ -42,6 +51,18 @@ func CheckSpec(c DeviceConfig, k KernelSpec) []SpecIssue {
 	}
 	if k.Grid.X <= 0 || k.Grid.Y <= 0 || k.Grid.Z <= 0 {
 		add("grid", "grid %v has a dimension < 1", k.Grid)
+	}
+	const (
+		maxGridX  = 1<<31 - 1
+		maxGridYZ = 65535
+	)
+	if k.Grid.X > maxGridX || k.Grid.Y > maxGridYZ || k.Grid.Z > maxGridYZ {
+		add("grid-limit", "grid %v exceeds the CUDA launch limits (%d, %d, %d)",
+			k.Grid, maxGridX, maxGridYZ, maxGridYZ)
+	}
+	if k.Grid.X > 0 && k.Grid.Y > 0 && k.Grid.Z > 0 && k.Grid.Count() <= 0 {
+		add("grid-count", "grid %v has a non-positive total block count %d (integer overflow)",
+			k.Grid, k.Grid.Count())
 	}
 	if k.Block.X <= 0 || k.Block.Y <= 0 || k.Block.Z <= 0 {
 		add("block", "block %v has a dimension < 1", k.Block)
@@ -62,6 +83,14 @@ func CheckSpec(c DeviceConfig, k KernelSpec) []SpecIssue {
 	if k.SharedMemPerBlock > c.SharedPerSM {
 		add("shared-mem", "SharedMemPerBlock %d exceeds SharedPerSM %d; the launch would fail on %s",
 			k.SharedMemPerBlock, c.SharedPerSM, c.Name)
+	}
+	regs := k.RegsPerThread
+	if regs <= 0 {
+		regs = 32 // occupancyOf's default for unspecified specs
+	}
+	if c.RegistersPerSM > 0 && block > 0 && regs*block > c.RegistersPerSM {
+		add("reg-file", "register demand %d (%d regs/thread x %d threads) exceeds the %d-register file; the launch would fail on %s",
+			regs*block, regs, block, c.RegistersPerSM, c.Name)
 	}
 	if limit, limiter := theoreticalLimit(c, k); limit < 1 {
 		add("occupancy", "zero theoretical occupancy: %s demand means not even one block fits on an SM", limiter)

@@ -122,8 +122,21 @@ func TestCheckSpec(t *testing.T) {
 		{"block-too-big", func(k *KernelSpec) { k.Block = D1(2048) }, []string{"validate", "block-limit", "occupancy"}},
 		{"shared-overflow", func(k *KernelSpec) { k.SharedMemPerBlock = cfg.SharedPerSM + 1 },
 			[]string{"shared-mem", "occupancy"}},
-		{"zero-occupancy-registers", func(k *KernelSpec) { k.RegsPerThread = 512 }, []string{"occupancy"}},
+		// 512 regs x 256 threads = 128Ki registers: over the 64Ki file, so
+		// not even one block fits and the occupancy rule fires too.
+		{"zero-occupancy-registers", func(k *KernelSpec) { k.RegsPerThread = 512 },
+			[]string{"reg-file", "occupancy"}},
 		{"empty-mix", func(k *KernelSpec) { k.Mix = isa.Mix{} }, []string{"validate"}},
+		{"grid-x-over-limit", func(k *KernelSpec) { k.Grid = Dim3{1 << 31, 1, 1} }, []string{"grid-limit"}},
+		{"grid-y-over-limit", func(k *KernelSpec) { k.Grid = Dim3{1, 65536, 1} }, []string{"grid-limit"}},
+		{"grid-z-over-limit", func(k *KernelSpec) { k.Grid = Dim3{1, 1, 65536} }, []string{"grid-limit"}},
+		{"grid-at-limit", func(k *KernelSpec) { k.Grid = Dim3{1<<31 - 1, 1, 1} }, nil},
+		// Every dimension is positive but X*Y*Z wraps on 64-bit int: the
+		// total block count must stay positive.
+		{"grid-count-overflow", func(k *KernelSpec) { k.Grid = Dim3{1 << 31, 1 << 31, 4} },
+			[]string{"validate", "grid-limit", "grid-count"}},
+		// 64 regs x 1024 threads = 64Ki fills the file exactly: legal.
+		{"reg-file-exact", func(k *KernelSpec) { k.RegsPerThread = 64; k.Block = D1(1024) }, nil},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -79,7 +79,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns every cactuslint analyzer in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoDeterminism, FiniteFlow, LaunchPath, ErrCheckStrict}
+	return []*Analyzer{NoDeterminism, FiniteFlow, LaunchPath, ErrCheckStrict, UnitSafety}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -103,6 +103,7 @@ var modelPackages = []string{
 	"repro/internal/stats",
 	"repro/internal/roofline",
 	"repro/internal/core",
+	"repro/internal/units",
 }
 
 func modelScope(path string) bool {

@@ -18,6 +18,7 @@ var fixtureCases = []struct {
 	{"finiteflow", "repro/internal/telemetry/fixture", FiniteFlow},
 	{"launchpath", "repro/internal/profiler/fixture", LaunchPath},
 	{"errcheckstrict", "repro/cmd/fixture", ErrCheckStrict},
+	{"unitsafety", "repro/internal/gpu/fixture", UnitSafety},
 }
 
 // wantRe extracts the quoted substrings of a `// want "..." "..."` comment.

@@ -1,0 +1,60 @@
+// Package units is a stand-in for repro/internal/units in unitsafety
+// fixtures: the analyzer matches any package whose import path ends in
+// "/units" (or is "units"), so fixtures can exercise it without importing
+// the real module.
+package units
+
+type (
+	// Seconds mirrors units.Seconds.
+	Seconds float64
+	// Cycles mirrors units.Cycles.
+	Cycles float64
+	// Txns mirrors units.Txns.
+	Txns uint64
+	// Fraction mirrors units.Fraction.
+	Fraction float64
+)
+
+// Float is the sanctioned escape to plain numeric space.
+func (s Seconds) Float() float64 { return float64(s) }
+
+// AtRate is the sanctioned Cycles -> Seconds conversion.
+func (c Cycles) AtRate(hz float64) Seconds {
+	if hz <= 0 {
+		return 0
+	}
+	return Seconds(float64(c) / hz)
+}
+
+// Clamp01 mirrors the Fraction boundary guard.
+func (f Fraction) Clamp01() float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return float64(f)
+}
+
+// Clamped mirrors the typed Fraction guard.
+func (f Fraction) Clamped() Fraction { return Fraction(f.Clamp01()) }
+
+// Clamp01Of mirrors units.Clamp01, the Fraction constructor.
+func Clamp01Of(v float64) Fraction {
+	if v < 0 || v != v {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return Fraction(v)
+}
+
+// Share mirrors units.Share, the sanctioned Seconds ratio.
+func Share(part, whole Seconds) Fraction {
+	if whole <= 0 {
+		return 0
+	}
+	return Clamp01Of(float64(part) / float64(whole))
+}

@@ -1,0 +1,87 @@
+// Package fixture exercises the unitsafety analyzer: implicit dimension
+// changes, same-unit products, magic literals, and unguarded Fractions at
+// serialization boundaries carry // want comments; the surrounding good
+// code pins the analyzer's false-positive behavior.
+package fixture
+
+import "units"
+
+// result mirrors a model result struct with unit-typed fields.
+type result struct {
+	Time  units.Seconds
+	Share units.Fraction
+}
+
+// rec mirrors a trace record: json tags make it a serialization boundary.
+type rec struct {
+	Share float64 `json:"share"`
+}
+
+// badConv converts cycles to seconds by fiat, skipping the clock rate.
+func badConv(c units.Cycles) units.Seconds {
+	return units.Seconds(c) // want "changes dimension implicitly"
+}
+
+// badMul multiplies two durations; the result is not a duration.
+func badMul(a, b units.Seconds) units.Seconds {
+	return a * b // want "mixes unit-typed operands"
+}
+
+// badQuoAssign divides a duration by a duration in assignment form.
+func badQuoAssign(a, b units.Seconds) units.Seconds {
+	a /= b // want "mixes unit-typed operands"
+	return a
+}
+
+// badLit plants a magic number into a unit-typed field and variable.
+func badLit() result {
+	r := result{Time: 2.5} // want "bare numeric literal 2.5"
+	r.Share = 0.7          // want "bare numeric literal 0.7"
+	return r
+}
+
+// badBoundary sends an unguarded fraction to a json boundary.
+func badBoundary(f units.Fraction) rec {
+	return rec{Share: float64(f)} // want "without a Finite/clamp guard"
+}
+
+// goodConv changes dimension through the sanctioned method.
+func goodConv(c units.Cycles, hz float64) units.Seconds { return c.AtRate(hz) }
+
+// goodRatio leaves unit space explicitly before dividing.
+func goodRatio(a, b units.Seconds) float64 { return a.Float() / b.Float() }
+
+// goodShare hands the same-unit ratio to a units helper.
+func goodShare(a, b units.Seconds) units.Fraction { return units.Share(a, b) }
+
+// goodScaled is a sanctioned same-unit quotient: the conversion out of unit
+// space is explicit.
+func goodScaled(a, b units.Seconds) float64 { return float64(a / b) }
+
+// goodScale multiplies by an untyped constant: constants are how scale
+// factors are meant to be written.
+func goodScale(t units.Seconds) units.Seconds { return t * 2 }
+
+// goodFrac multiplies fractions: Fraction is dimensionless and exempt.
+func goodFrac(a, b units.Fraction) units.Fraction { return a * b }
+
+// goodIdentity uses the unit-free identities 0 and 1.
+func goodIdentity() result { return result{Time: 0, Share: 1} }
+
+// goodBoundary guards the fraction before it is serialized.
+func goodBoundary(f units.Fraction) rec { return rec{Share: f.Clamp01()} }
+
+// goodConstructed serializes a constructor-produced fraction.
+func goodConstructed(v float64) rec {
+	return rec{Share: units.Clamp01Of(v).Clamp01()}
+}
+
+// suppressedConv shows a suppressed, reasoned exception.
+func suppressedConv(c units.Cycles) units.Seconds {
+	//lint:ignore unitsafety fixture exercising suppression
+	return units.Seconds(c)
+}
+
+var _ = []any{badConv, badMul, badQuoAssign, badLit, badBoundary, goodConv,
+	goodRatio, goodShare, goodScaled, goodScale, goodFrac, goodIdentity,
+	goodBoundary, goodConstructed, suppressedConv}

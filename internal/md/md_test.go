@@ -500,7 +500,7 @@ func TestDominantKernelCharacters(t *testing.T) {
 		var sawCmp, sawMem bool
 		cum := 0.0
 		for _, k := range s.Kernels() {
-			cum += k.TotalTime / total
+			cum += (k.TotalTime / total).Float()
 			ii := k.Metrics()[1] // InstIntensity
 			if k.Name == tc.wantCmp {
 				if ii < elbow {

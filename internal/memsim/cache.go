@@ -17,6 +17,8 @@ package memsim
 
 import (
 	"fmt"
+
+	"repro/internal/units"
 )
 
 // Geometry constants shared by the hierarchy.
@@ -170,14 +172,14 @@ func (c *Cache) Reset() {
 }
 
 // Traffic summarizes resolved global-memory traffic for one kernel launch,
-// in 32-byte sector units.
+// in 32-byte sector units (units.Txns).
 type Traffic struct {
-	Sectors     uint64 // total sector accesses issued to L1
-	L1Hits      uint64
-	L2Hits      uint64
-	DRAMTxns    uint64 // sectors served by DRAM (reads + writes)
-	DRAMReadTx  uint64
-	DRAMWriteTx uint64
+	Sectors     units.Txns // total sector accesses issued to L1
+	L1Hits      units.Txns
+	L2Hits      units.Txns
+	DRAMTxns    units.Txns // sectors served by DRAM (reads + writes)
+	DRAMReadTx  units.Txns
+	DRAMWriteTx units.Txns
 }
 
 // Add accumulates other into t.
@@ -191,26 +193,20 @@ func (t *Traffic) Add(o Traffic) {
 }
 
 // L1HitRate returns the fraction of sector accesses hitting in L1.
-func (t Traffic) L1HitRate() float64 {
-	if t.Sectors == 0 {
-		return 0
-	}
-	return float64(t.L1Hits) / float64(t.Sectors)
+func (t Traffic) L1HitRate() units.Fraction {
+	return units.Ratio(t.L1Hits.Float(), t.Sectors.Float())
 }
 
 // L2HitRate returns the fraction of L1 misses hitting in L2.
-func (t Traffic) L2HitRate() float64 {
+func (t Traffic) L2HitRate() units.Fraction {
 	misses := t.Sectors - t.L1Hits
-	if misses == 0 {
-		return 0
-	}
-	return float64(t.L2Hits) / float64(misses)
+	return units.Ratio(t.L2Hits.Float(), misses.Float())
 }
 
 // Scale returns traffic scaled by f (e.g. to extrapolate a sampled trace to
 // the full grid).
 func (t Traffic) Scale(f float64) Traffic {
-	s := func(v uint64) uint64 { return uint64(float64(v)*f + 0.5) }
+	s := func(v units.Txns) units.Txns { return units.Txns(v.Float()*f + 0.5) }
 	return Traffic{
 		Sectors:     s(t.Sectors),
 		L1Hits:      s(t.L1Hits),

@@ -1,6 +1,10 @@
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
 
 // Pattern classifies the spatial shape of a global-memory access stream.
 type Pattern uint8
@@ -167,25 +171,25 @@ func (m *LocalityModel) Resolve(s Stream) (Traffic, error) {
 	}
 
 	var t Traffic
-	t.Sectors = req
+	t.Sectors = units.Txns(req)
 	switch {
 	case l1Footprint <= l1Cap:
 		// Working set is L1-resident: all reuse hits in L1, cold misses go
 		// down the hierarchy (and hit L2 only if the full footprint is
 		// L2-resident across launches; within a launch they are cold).
-		t.L1Hits = reuseHits
+		t.L1Hits = units.Txns(reuseHits)
 		if s.FootprintBytes <= l2Cap {
 			// Fraction of cold misses served by a warm L2 (producer/consumer
 			// reuse across thread blocks within the launch).
-			t.L2Hits = uniq / 2
+			t.L2Hits = units.Txns(uniq / 2)
 		}
-		t.DRAMTxns = req - t.L1Hits - t.L2Hits
+		t.DRAMTxns = t.Sectors - t.L1Hits - t.L2Hits
 	case s.FootprintBytes <= l2Cap:
 		// L2-resident: reuse hits in L2, plus short-window L1 locality.
 		shortL1 := reuseHits / 8
-		t.L1Hits = shortL1
-		t.L2Hits = reuseHits - shortL1
-		t.DRAMTxns = uniq
+		t.L1Hits = units.Txns(shortL1)
+		t.L2Hits = units.Txns(reuseHits - shortL1)
+		t.DRAMTxns = units.Txns(uniq)
 	default:
 		// Streaming through DRAM. Short-window reuse still catches a slice
 		// of accesses in L1/L2 (register-tiled GEMM re-reads within a CTA).
@@ -194,9 +198,9 @@ func (m *LocalityModel) Resolve(s Stream) (Traffic, error) {
 		if shortL1+shortL2 > reuseHits {
 			shortL2 = reuseHits - shortL1
 		}
-		t.L1Hits = shortL1
-		t.L2Hits = shortL2
-		t.DRAMTxns = req - shortL1 - shortL2
+		t.L1Hits = units.Txns(shortL1)
+		t.L2Hits = units.Txns(shortL2)
+		t.DRAMTxns = units.Txns(req - shortL1 - shortL2)
 	}
 	if s.Store {
 		t.DRAMWriteTx = t.DRAMTxns

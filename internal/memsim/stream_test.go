@@ -3,6 +3,8 @@ package memsim
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/units"
 )
 
 func model() *LocalityModel {
@@ -46,7 +48,7 @@ func TestCoalescedStreamingGoesToDRAM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantSectors := uint64(1<<30) / SectorBytes
+	wantSectors := units.Txns(1<<30) / SectorBytes
 	if tr.Sectors != wantSectors {
 		t.Errorf("sectors = %d, want %d", tr.Sectors, wantSectors)
 	}
@@ -87,7 +89,7 @@ func TestL2ResidentReuseHitsL2(t *testing.T) {
 		t.Error("expected L2 hits for L2-resident reuse")
 	}
 	// DRAM should be roughly the cold footprint.
-	cold := foot / SectorBytes
+	cold := units.Txns(foot / SectorBytes)
 	if tr.DRAMTxns > cold*2 {
 		t.Errorf("DRAM txns = %d, want ~%d", tr.DRAMTxns, cold)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/profiler"
+	"repro/internal/units"
 )
 
 func newSession(t *testing.T) *profiler.Session {
@@ -23,9 +24,9 @@ func TestDebugTimeShares(t *testing.T) {
 		if err := w.Run(s); err != nil {
 			t.Fatal(err)
 		}
-		total := s.TotalTime()
-		agg := float64(s.TotalWarpInstructions())
-		var txns uint64
+		total := s.TotalTime().Float()
+		agg := s.TotalWarpInstructions().Float()
+		var txns units.Txns
 		for _, l := range s.Launches() {
 			txns += l.Traffic.DRAMTxns
 		}
@@ -33,7 +34,7 @@ func TestDebugTimeShares(t *testing.T) {
 		// Kernels to reach 70%.
 		cum, k70 := 0.0, 0
 		for _, k := range ks {
-			cum += k.TotalTime / total
+			cum += k.TotalTime.Float() / total
 			k70++
 			if cum >= 0.7 {
 				break
@@ -41,7 +42,7 @@ func TestDebugTimeShares(t *testing.T) {
 		}
 		t.Logf("=== %s: %d launches, %.3f ms, %d kernels (%d @70%%), %d Mwarps, agg II=%.2f agg GIPS=%.2f",
 			w.Abbr(), s.LaunchCount(), total*1e3, len(ks), k70,
-			s.TotalWarpInstructions()/1e6, agg/float64(txns+1), agg/total/1e9)
+			s.TotalWarpInstructions()/1e6, agg/(txns.Float()+1), agg/total/1e9)
 		for i, k := range ks {
 			if i >= 15 {
 				t.Logf("  ... and %d more", len(ks)-15)
@@ -49,7 +50,7 @@ func TestDebugTimeShares(t *testing.T) {
 			}
 			m := k.Metrics()
 			t.Logf("  %-44s share=%5.1f%% inv=%4d II=%8.2f GIPS=%7.2f",
-				k.Name, 100*k.TotalTime/total, k.Invocations, m[1], m[0])
+				k.Name, 100*k.TotalTime.Float()/total, k.Invocations, m[1], m[0])
 		}
 	}
 }

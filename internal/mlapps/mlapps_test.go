@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/profiler"
 	"repro/internal/roofline"
+	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
@@ -63,7 +64,7 @@ func TestManyKernelsNeededFor70Percent(t *testing.T) {
 		total := s.TotalTime()
 		cum, k := 0.0, 0
 		for _, kp := range s.Kernels() {
-			cum += kp.TotalTime / total
+			cum += (kp.TotalTime / total).Float()
 			k++
 			if cum >= 0.7 {
 				break
@@ -103,12 +104,12 @@ func TestMixedKernelCharacter(t *testing.T) {
 // (clearly memory-intensive, lowest-performing ML app).
 func TestLGTAggregateMemoryIntensive(t *testing.T) {
 	s := runApp(t, LanguageTranslation())
-	insts := float64(s.TotalWarpInstructions())
-	var txns uint64
+	insts := s.TotalWarpInstructions().Float()
+	var txns units.Txns
 	for _, l := range s.Launches() {
 		txns += l.Traffic.DRAMTxns
 	}
-	ii := insts / float64(txns+1)
+	ii := insts / (txns.Float() + 1)
 	if ii >= 21.76 {
 		t.Errorf("LGT aggregate II = %g, want memory-intensive (< 21.76)", ii)
 	}

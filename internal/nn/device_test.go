@@ -26,7 +26,7 @@ func TestReplicationScalesInstructionsLinearly(t *testing.T) {
 	run := func(repl float64) uint64 {
 		dev := NewDevice(profiler.NewSession(d), repl, 1)
 		dev.EmitNamed("probe", 1<<16, 2, 1, 1)
-		return dev.Session().TotalWarpInstructions()
+		return uint64(dev.Session().TotalWarpInstructions())
 	}
 	one := run(1)
 	four := run(4)
@@ -44,7 +44,7 @@ func TestParamOpScalesBySqrt(t *testing.T) {
 	run := func(repl float64) uint64 {
 		dev := NewDevice(profiler.NewSession(d), repl, 1)
 		dev.EmitParamOp("probe", 1<<16, 2, 1, 1)
-		return dev.Session().TotalWarpInstructions()
+		return uint64(dev.Session().TotalWarpInstructions())
 	}
 	one := run(1)
 	sixteen := run(16)
@@ -69,7 +69,7 @@ func TestWeightStreamsScaleBySqrt(t *testing.T) {
 		if _, err := MatMul(a, w, false, false); err != nil {
 			t.Fatal(err)
 		}
-		return dev.Session().Launches()[0].Traffic.Sectors
+		return uint64(dev.Session().Launches()[0].Traffic.Sectors)
 	}
 	one := sectors(1)
 	sixteen := sectors(16)

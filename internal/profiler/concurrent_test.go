@@ -78,7 +78,7 @@ func TestConcurrentSessions(t *testing.T) {
 					return
 				}
 			}
-			results[i] = s.TotalTime()
+			results[i] = s.TotalTime().Float()
 		}(i)
 	}
 	wg.Wait()

@@ -14,6 +14,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/memsim"
 	"repro/internal/telemetry"
+	"repro/internal/units"
 )
 
 // Metric enumerates the collected performance metrics. The first four are
@@ -116,32 +117,35 @@ func (v Vector) Get(m Metric) float64 { return v[m] }
 type KernelProfile struct {
 	Name        string
 	Invocations int
-	TotalTime   float64 // seconds, summed over invocations
+	TotalTime   units.Seconds // summed over invocations
 	Mix         isa.Mix
 	Traffic     memsim.Traffic
 
-	// time-weighted accumulators for averaged metrics
+	// time-weighted accumulators for averaged metrics (seconds x metric,
+	// raw floats by convention: mixed-dimension intermediates)
 	wOcc, wSMEff, wLDST, wSP           float64
 	wStallE, wStallP, wStallS, wStallM float64
 }
 
 // WarpInstructions returns the kernel's total executed warp instructions.
-func (k *KernelProfile) WarpInstructions() uint64 { return k.Mix.Total() }
+func (k *KernelProfile) WarpInstructions() units.WarpInsts {
+	return units.WarpInsts(k.Mix.Total())
+}
 
 func (k *KernelProfile) add(r gpu.LaunchResult) {
 	k.Invocations++
 	k.TotalTime += r.Time
 	k.Mix.AddMix(r.Mix)
 	k.Traffic.Add(r.Traffic)
-	w := r.Time
+	w := r.Time.Float()
 	k.wOcc += w * r.Occ.Achieved
-	k.wSMEff += w * r.SMEfficiency
-	k.wLDST += w * r.LDSTUtil
-	k.wSP += w * r.SPUtil
-	k.wStallE += w * r.StallExec
-	k.wStallP += w * r.StallPipe
-	k.wStallS += w * r.StallSync
-	k.wStallM += w * r.StallMem
+	k.wSMEff += w * r.SMEfficiency.Float()
+	k.wLDST += w * r.LDSTUtil.Float()
+	k.wSP += w * r.SPUtil.Float()
+	k.wStallE += w * r.StallExec.Float()
+	k.wStallP += w * r.StallPipe.Float()
+	k.wStallS += w * r.StallSync.Float()
+	k.wStallM += w * r.StallMem.Float()
 }
 
 // Metrics returns the kernel's aggregated metric vector. Instruction
@@ -152,12 +156,12 @@ func (k *KernelProfile) add(r gpu.LaunchResult) {
 // gpu.LaunchResult.InstIntensity reports for such kernels.
 func (k *KernelProfile) Metrics() Vector {
 	var v Vector
-	t := k.TotalTime
+	t := k.TotalTime.Float()
 	if t <= 0 {
 		return v
 	}
 	insts := float64(k.Mix.Total())
-	txns := float64(k.Traffic.DRAMTxns)
+	txns := k.Traffic.DRAMTxns.Float()
 	if txns < 1 {
 		txns = 1
 	}
@@ -165,9 +169,10 @@ func (k *KernelProfile) Metrics() Vector {
 	v[InstIntensity] = insts / txns
 	v[SMEfficiency] = k.wSMEff / t
 	v[WarpOccupancy] = k.wOcc / t
-	v[L1HitRate] = k.Traffic.L1HitRate()
-	v[L2HitRate] = k.Traffic.L2HitRate()
-	v[DRAMReadThroughput] = float64(k.Traffic.DRAMReadTx) * float64(memsim.SectorBytes) / t
+	v[L1HitRate] = k.Traffic.L1HitRate().Float()
+	v[L2HitRate] = k.Traffic.L2HitRate().Float()
+	v[DRAMReadThroughput] = units.Throughput(
+		k.Traffic.DRAMReadTx.Bytes(memsim.SectorBytes), k.TotalTime).Float()
 	v[LDSTUtilization] = k.wLDST / t
 	v[SPUtilization] = k.wSP / t
 	v[FracBranches] = k.Mix.BranchFraction()
@@ -188,7 +193,7 @@ type Session struct {
 
 	mu       sync.Mutex
 	launches []gpu.LaunchResult
-	cursor   float64 // modeled-track timeline position, seconds
+	cursor   units.Seconds // modeled-track timeline position
 }
 
 // SessionOptions configures a session's telemetry.
@@ -237,7 +242,7 @@ func (s *Session) Launch(spec gpu.KernelSpec) (gpu.LaunchResult, error) {
 		s.tracer.Emit(telemetry.Event{
 			Track: telemetry.TrackModeled, Phase: telemetry.PhaseSpan,
 			Name: res.Name, Cat: "kernel", TID: s.lane,
-			Start: start, Dur: res.Time,
+			Start: start.Float(), Dur: res.Time.Float(),
 			Args: res.TelemetryArgs(),
 		})
 	}
@@ -270,11 +275,11 @@ func (s *Session) LaunchCount() int {
 	return len(s.launches)
 }
 
-// TotalTime returns the summed GPU time of all launches, in seconds.
-func (s *Session) TotalTime() float64 {
+// TotalTime returns the summed GPU time of all launches.
+func (s *Session) TotalTime() units.Seconds {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var t float64
+	var t units.Seconds
 	for _, l := range s.launches {
 		t += l.Time
 	}
@@ -282,12 +287,12 @@ func (s *Session) TotalTime() float64 {
 }
 
 // TotalWarpInstructions returns the summed warp-instruction count.
-func (s *Session) TotalWarpInstructions() uint64 {
+func (s *Session) TotalWarpInstructions() units.WarpInsts {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var n uint64
+	var n units.WarpInsts
 	for _, l := range s.launches {
-		n += l.Mix.Total()
+		n += units.WarpInsts(l.Mix.Total())
 	}
 	return n
 }

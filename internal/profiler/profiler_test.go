@@ -97,7 +97,7 @@ func TestSessionRecordsLaunches(t *testing.T) {
 	wantInsts := 3 * spec("x", 1<<22, false).Mix.Total()
 	// k2 has a different mix total, recompute.
 	wantInsts = spec("k1", 1<<22, false).Mix.Total()*2 + spec("k2", 1<<22, true).Mix.Total()
-	if got := s.TotalWarpInstructions(); got != wantInsts {
+	if got := uint64(s.TotalWarpInstructions()); got != wantInsts {
 		t.Errorf("total warp insts = %d, want %d", got, wantInsts)
 	}
 }
@@ -134,7 +134,7 @@ func TestKernelAggregation(t *testing.T) {
 	if ks[0].TotalTime <= ks[1].TotalTime {
 		t.Error("kernels must be sorted by descending total time")
 	}
-	if ks[0].WarpInstructions() != 2*spec("x", 1<<24, false).Mix.Total() {
+	if uint64(ks[0].WarpInstructions()) != 2*spec("x", 1<<24, false).Mix.Total() {
 		t.Error("aggregated instruction count")
 	}
 }

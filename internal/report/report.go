@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/units"
 )
 
 // Table is a simple aligned text table.
@@ -99,27 +101,22 @@ func WriteCSV(w io.Writer, header []string, rows [][]string) error {
 	return nil
 }
 
-// HBar renders a horizontal bar of the given fraction (0..1) with width
-// cells, using '#' for the filled part.
-func HBar(frac float64, width int) string {
-	if frac < 0 {
-		frac = 0
-	}
-	if frac > 1 {
-		frac = 1
-	}
-	n := int(frac*float64(width) + 0.5)
+// HBar renders a horizontal bar of the given fraction with width cells,
+// using '#' for the filled part.
+func HBar(frac units.Fraction, width int) string {
+	f := frac.Clamp01()
+	n := int(f*float64(width) + 0.5)
 	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
 }
 
 // StackedBar renders segments (fractions summing to <= 1) using a glyph per
 // segment, cycling through glyphs if needed.
-func StackedBar(fracs []float64, width int) string {
+func StackedBar(fracs []units.Fraction, width int) string {
 	glyphs := []byte("#@%*+=-:~o")
 	var b strings.Builder
 	used := 0
 	for i, f := range fracs {
-		n := int(f*float64(width) + 0.5)
+		n := int(f.Clamp01()*float64(width) + 0.5)
 		if used+n > width {
 			n = width - used
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/roofline"
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 func TestTableRender(t *testing.T) {
@@ -60,7 +61,7 @@ func TestHBar(t *testing.T) {
 }
 
 func TestStackedBar(t *testing.T) {
-	got := StackedBar([]float64{0.5, 0.3}, 10)
+	got := StackedBar([]units.Fraction{0.5, 0.3}, 10)
 	if len(got) != 10 {
 		t.Errorf("length = %d", len(got))
 	}
@@ -74,7 +75,7 @@ func TestStackedBar(t *testing.T) {
 		t.Errorf("remainder: %q", got)
 	}
 	// Overfull fractions must not exceed width.
-	if got := StackedBar([]float64{0.9, 0.9}, 10); len(got) != 10 {
+	if got := StackedBar([]units.Fraction{0.9, 0.9}, 10); len(got) != 10 {
 		t.Errorf("overfull length = %d", len(got))
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/gpu"
+	"repro/internal/units"
 )
 
 // Side classifies a point relative to the roofline elbow.
@@ -57,15 +58,18 @@ type Model struct {
 	PeakGTXN float64
 	// BoundThreshold is the fraction of PeakGIPS below which a kernel is
 	// labeled latency-bound. The paper uses 1 % (5.16 GIPS on the 3080).
-	BoundThreshold float64
+	BoundThreshold units.Fraction
 }
+
+// defaultBoundThreshold is the paper's 1 %-of-peak latency-bound cut.
+const defaultBoundThreshold units.Fraction = 0.01
 
 // ForDevice derives the roofline from a device configuration.
 func ForDevice(cfg gpu.DeviceConfig) Model {
 	return Model{
 		PeakGIPS:       cfg.PeakGIPS(),
 		PeakGTXN:       cfg.PeakGTXN(),
-		BoundThreshold: 0.01,
+		BoundThreshold: defaultBoundThreshold,
 	}
 }
 
@@ -90,7 +94,7 @@ func (m Model) Classify(ii float64) Side {
 
 // BoundOf classifies achieved performance against the latency threshold.
 func (m Model) BoundOf(gips float64) Bound {
-	if gips < m.BoundThreshold*m.PeakGIPS {
+	if gips < m.BoundThreshold.Float()*m.PeakGIPS {
 		return LatencyBound
 	}
 	return BandwidthBound
@@ -104,9 +108,9 @@ type Point struct {
 	II float64
 	// GIPS is achieved performance.
 	GIPS float64
-	// TimeShare is the point's share of its application's GPU time, in
-	// [0,1]; figures color-code by this.
-	TimeShare float64
+	// TimeShare is the point's share of its application's GPU time;
+	// figures color-code by this.
+	TimeShare units.Fraction
 }
 
 // Validate reports physically impossible points (useful in tests).

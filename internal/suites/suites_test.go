@@ -9,6 +9,7 @@ import (
 	"repro/internal/suites/parboil"
 	"repro/internal/suites/rodinia"
 	"repro/internal/suites/tango"
+	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
@@ -71,7 +72,7 @@ func TestFewKernelsDominate(t *testing.T) {
 		tt := s.TotalTime()
 		cum, k := 0.0, 0
 		for _, kp := range s.Kernels() {
-			cum += kp.TotalTime / tt
+			cum += (kp.TotalTime / tt).Float()
 			k++
 			if cum >= 0.7 {
 				break
@@ -103,9 +104,9 @@ func TestUnambiguousRooflineBehavior(t *testing.T) {
 			t.Fatalf("%s: %v", w.Abbr(), err)
 		}
 		tt := s.TotalTime()
-		var memShare, cmpShare float64
+		var memShare, cmpShare units.Fraction
 		for _, kp := range s.Kernels() {
-			share := kp.TotalTime / tt
+			share := units.Share(kp.TotalTime, tt)
 			if share < 0.1 {
 				continue // only significant kernels matter for ambiguity
 			}

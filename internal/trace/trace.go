@@ -69,9 +69,9 @@ func Export(w io.Writer, workload string, cfg gpu.DeviceConfig, sess *profiler.S
 			Grid:    [3]int{l.Grid.X, l.Grid.Y, l.Grid.Z},
 			Block:   [3]int{l.Block.X, l.Block.Y, l.Block.Z},
 			Insts:   map[string]uint64{},
-			Sectors: l.Traffic.Sectors, L1Hits: l.Traffic.L1Hits,
-			L2Hits: l.Traffic.L2Hits, DRAMTxns: l.Traffic.DRAMTxns,
-			TimeNs: l.Time * 1e9,
+			Sectors: uint64(l.Traffic.Sectors), L1Hits: uint64(l.Traffic.L1Hits),
+			L2Hits: uint64(l.Traffic.L2Hits), DRAMTxns: uint64(l.Traffic.DRAMTxns),
+			TimeNs: l.Time.Nanos(),
 		}
 		for _, c := range isa.Classes() {
 			if n := l.Mix.Count(c); n > 0 {

@@ -51,7 +51,7 @@ func TestExportReadRoundTrip(t *testing.T) {
 			t.Fatalf("launch %d incomplete: %+v", i, l)
 		}
 	}
-	if got := TotalWarpInsts(launches); got != sess.TotalWarpInstructions() {
+	if got := TotalWarpInsts(launches); got != uint64(sess.TotalWarpInstructions()) {
 		t.Errorf("trace insts %d, session %d", got, sess.TotalWarpInstructions())
 	}
 }

@@ -1,0 +1,157 @@
+// Package units defines the dimensioned numeric types the model's public
+// surfaces carry — seconds, cycles, bytes, DRAM transactions, warp
+// instructions, throughput, and [0,1] fractions — so the Go type checker
+// itself enforces dimensional soundness across package boundaries.
+//
+// Conventions:
+//
+//   - Public struct fields and exported return values that carry a
+//     dimensioned quantity use these types (gpu.LaunchResult,
+//     memsim.Traffic, profiler session aggregates, roofline points).
+//   - Crossing between two units goes through a named constructor here
+//     (Share, Ratio, Throughput, Intensity, Cycles.AtRate), never a bare
+//     conversion like Seconds(txns) — the unitsafety analyzer flags those.
+//   - Raw float64 remains acceptable for transient model-internal math
+//     (interval-timing intermediates in gpu.Launch), for homogeneous metric
+//     vectors (profiler.Vector), and at serialization boundaries after an
+//     explicit guard (Fraction.Clamp01, Seconds.Nanos).
+package units
+
+import "math"
+
+// Seconds is a duration in seconds.
+type Seconds float64
+
+// Float returns the duration as a raw float64 of seconds.
+func (s Seconds) Float() float64 { return float64(s) }
+
+// Nanos returns the duration in nanoseconds.
+func (s Seconds) Nanos() float64 { return float64(s) * 1e9 }
+
+// Millis returns the duration in milliseconds.
+func (s Seconds) Millis() float64 { return float64(s) * 1e3 }
+
+// Cycles is a count of clock cycles.
+type Cycles float64
+
+// AtRate converts a cycle count to a duration at the given rate in Hz.
+// A non-positive rate yields zero.
+func (c Cycles) AtRate(hz float64) Seconds {
+	if hz <= 0 {
+		return 0
+	}
+	return Seconds(float64(c) / hz)
+}
+
+// Bytes is a byte count.
+type Bytes uint64
+
+// Float returns the byte count as a float64.
+func (b Bytes) Float() float64 { return float64(b) }
+
+// Txns is a count of memory transactions (32-byte DRAM sectors).
+type Txns uint64
+
+// Float returns the transaction count as a float64.
+func (t Txns) Float() float64 { return float64(t) }
+
+// Bytes converts a transaction count to bytes at perTxn bytes each.
+func (t Txns) Bytes(perTxn int) Bytes {
+	if perTxn < 0 {
+		return 0
+	}
+	return Bytes(t) * Bytes(perTxn)
+}
+
+// WarpInsts is a count of executed warp instructions.
+type WarpInsts uint64
+
+// Float returns the instruction count as a float64.
+func (w WarpInsts) Float() float64 { return float64(w) }
+
+// PerSec returns the instruction rate over t in warp instructions per
+// second. A non-positive duration yields zero.
+func (w WarpInsts) PerSec(t Seconds) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(w) / float64(t)
+}
+
+// BytesPerSec is a throughput in bytes per second.
+type BytesPerSec float64
+
+// Float returns the throughput as a raw float64.
+func (r BytesPerSec) Float() float64 { return float64(r) }
+
+// Throughput divides a byte volume by a duration. A non-positive duration
+// yields zero.
+func Throughput(b Bytes, t Seconds) BytesPerSec {
+	if t <= 0 {
+		return 0
+	}
+	return BytesPerSec(float64(b) / float64(t))
+}
+
+// Fraction is a dimensionless value intended to lie in [0,1]. Producers
+// clamp with Clamp01; serialization boundaries call Clamp01 (the method)
+// so NaN and out-of-range values cannot reach JSON.
+type Fraction float64
+
+// Float returns the fraction as a raw float64, unguarded.
+func (f Fraction) Float() float64 { return float64(f) }
+
+// Clamped returns the fraction clamped to [0,1], mapping NaN to 0.
+func (f Fraction) Clamped() Fraction {
+	return Clamp01(float64(f))
+}
+
+// Clamp01 returns the fraction clamped to [0,1] as a raw float64, mapping
+// NaN to 0 — the guard serialization boundaries apply before emitting a
+// Fraction into JSON or trace args.
+func (f Fraction) Clamp01() float64 {
+	return float64(f.Clamped())
+}
+
+// Clamp01 clamps v to [0,1], mapping NaN to 0.
+func Clamp01(v float64) Fraction {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return Fraction(v)
+}
+
+// Ratio divides num by den into a clamped fraction; a non-positive
+// denominator yields zero.
+func Ratio(num, den float64) Fraction {
+	if den <= 0 {
+		return 0
+	}
+	return Clamp01(num / den)
+}
+
+// Share is Ratio for durations: the clamped fraction of whole that part
+// represents.
+func Share(part, whole Seconds) Fraction {
+	return Ratio(float64(part), float64(whole))
+}
+
+// Intensity returns warp instructions per DRAM transaction — the roofline
+// x-axis. Zero transactions yield +Inf (a compute-only kernel sits
+// infinitely far right on the roofline); use IntensityFloor1 at JSON
+// boundaries, which cannot represent ±Inf.
+func Intensity(n WarpInsts, t Txns) float64 {
+	if t == 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / float64(t)
+}
+
+// IntensityFloor1 is Intensity with the transaction count floored at 1,
+// keeping the result finite for serialization.
+func IntensityFloor1(n WarpInsts, t Txns) float64 {
+	return float64(n) / math.Max(float64(t), 1)
+}

@@ -1,0 +1,117 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSecondsConversions(t *testing.T) {
+	s := Seconds(2.5e-3)
+	if got := s.Nanos(); got != 2.5e6 {
+		t.Errorf("Nanos() = %v, want 2.5e6", got)
+	}
+	if got := s.Millis(); got != 2.5 {
+		t.Errorf("Millis() = %v, want 2.5", got)
+	}
+	if got := s.Float(); got != 2.5e-3 {
+		t.Errorf("Float() = %v, want 2.5e-3", got)
+	}
+}
+
+func TestCyclesAtRate(t *testing.T) {
+	c := Cycles(1900)
+	if got := c.AtRate(1.9e9); got != Seconds(1e-6) {
+		t.Errorf("AtRate(1.9e9) = %v, want 1e-6", got)
+	}
+	if got := c.AtRate(0); got != 0 {
+		t.Errorf("AtRate(0) = %v, want 0", got)
+	}
+	if got := c.AtRate(-1); got != 0 {
+		t.Errorf("AtRate(-1) = %v, want 0", got)
+	}
+}
+
+func TestTxnsBytes(t *testing.T) {
+	if got := Txns(10).Bytes(32); got != 320 {
+		t.Errorf("Txns(10).Bytes(32) = %v, want 320", got)
+	}
+	if got := Txns(10).Bytes(-1); got != 0 {
+		t.Errorf("negative perTxn must yield 0, got %v", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(Bytes(640), Seconds(2)); got != 320 {
+		t.Errorf("Throughput(640, 2s) = %v, want 320", got)
+	}
+	if got := Throughput(Bytes(640), 0); got != 0 {
+		t.Errorf("zero duration must yield 0, got %v", got)
+	}
+}
+
+func TestWarpInstsPerSec(t *testing.T) {
+	if got := WarpInsts(1e9).PerSec(Seconds(2)); got != 5e8 {
+		t.Errorf("PerSec = %v, want 5e8", got)
+	}
+	if got := WarpInsts(1).PerSec(0); got != 0 {
+		t.Errorf("zero duration must yield 0, got %v", got)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want Fraction
+	}{
+		{0.5, 0.5},
+		{-0.1, 0},
+		{1.5, 1},
+		{math.NaN(), 0},
+		{math.Inf(1), 1},
+		{math.Inf(-1), 0},
+	}
+	for _, tc := range cases {
+		if got := Clamp01(tc.in); got != tc.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if got := Fraction(math.NaN()).Clamp01(); got != 0 {
+		t.Errorf("Fraction(NaN).Clamp01() = %v, want 0", got)
+	}
+	if got := Fraction(2).Clamped(); got != 1 {
+		t.Errorf("Fraction(2).Clamped() = %v, want 1", got)
+	}
+}
+
+func TestRatioAndShare(t *testing.T) {
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Errorf("Ratio(1,4) = %v, want 0.25", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Errorf("Ratio(1,0) = %v, want 0", got)
+	}
+	if got := Ratio(5, 2); got != 1 {
+		t.Errorf("Ratio(5,2) must clamp to 1, got %v", got)
+	}
+	if got := Share(Seconds(1), Seconds(8)); got != 0.125 {
+		t.Errorf("Share(1,8) = %v, want 0.125", got)
+	}
+	if got := Share(Seconds(1), 0); got != 0 {
+		t.Errorf("Share with zero whole must yield 0, got %v", got)
+	}
+}
+
+func TestIntensity(t *testing.T) {
+	if got := Intensity(WarpInsts(100), Txns(4)); got != 25 {
+		t.Errorf("Intensity(100,4) = %v, want 25", got)
+	}
+	if got := Intensity(WarpInsts(100), 0); !math.IsInf(got, 1) {
+		t.Errorf("Intensity with zero txns must be +Inf, got %v", got)
+	}
+	if got := IntensityFloor1(WarpInsts(100), 0); got != 100 {
+		t.Errorf("IntensityFloor1(100,0) = %v, want 100", got)
+	}
+	if got := IntensityFloor1(WarpInsts(100), Txns(4)); got != 25 {
+		t.Errorf("IntensityFloor1(100,4) = %v, want 25", got)
+	}
+}
