@@ -16,6 +16,7 @@
 //	cactus audit [abbr ...]
 //	cactus figure <1..9>
 //	cactus table <1..4>
+//	cactus bench [run|check|scaling] [flags]
 //	cactus all
 //
 // Flags:
@@ -44,6 +45,14 @@
 // with the instruction mix and modeled time, DRAM read throughput under
 // the device peak, and per-kernel times adding up to the session total.
 // Exit is nonzero on any violation.
+//
+// `cactus bench` times a fixed benchmark set (the serial and parallel study
+// plus subsystem micro-benchmarks) with pinned iteration counts, best-of-N,
+// and writes BENCH_<label>.json. `cactus bench check -baseline
+// BENCH_baseline.json` re-measures (or reads -current) and exits nonzero
+// when any benchmark is more than -threshold (default 15%) slower than the
+// baseline — the CI perf gate. `cactus bench scaling` checks the parallel
+// study is not slower than serial at -j 2 and -j 8.
 //
 // `cactus trace <abbr>` records one workload's launch timeline as Chrome
 // trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev):
@@ -98,7 +107,7 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, lint, audit, figure, table, all)")
+		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, lint, audit, figure, table, bench, all)")
 	}
 
 	var cfg gpu.DeviceConfig
@@ -421,6 +430,9 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 			}
 		}
 		return auditWorkloads(ws, cfg, out, errOut)
+
+	case "bench":
+		return benchCmd(rest, cfg, out, errOut)
 
 	case "all":
 		st, err := core.NewStudyWith(cfg, opts, cat.All()...)

@@ -1,0 +1,181 @@
+// Package benchkit is the repo's benchmark harness: fixed-iteration,
+// best-of-N timing of registered benchmark functions, JSON suite files, and
+// baseline comparison with a regression threshold.
+//
+// The stdlib testing.Benchmark is deliberately not used: outside a test
+// binary its iteration count cannot be pinned (-benchtime is a test flag),
+// so two runs time different amounts of work and their ns/op wander with
+// the ramp-up heuristic. Here every benchmark declares its iteration count
+// once; a run executes N rounds of exactly that many iterations and reports
+// the fastest round, which is the standard way to strip scheduler and
+// frequency noise from a throughput measurement.
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Bench is one registered benchmark: Fn run Iters times per round.
+type Bench struct {
+	Name  string
+	Iters int
+	Fn    func()
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name string `json:"name"`
+	// NsPerOp is the per-iteration wall time of the fastest round.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the per-iteration heap allocation count of the fastest
+	// round (mallocs are deterministic per round, but background GC activity
+	// can add a handful; treat small differences as noise).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Rounds and Iters record the measurement protocol so a baseline file is
+	// self-describing.
+	Rounds int `json:"rounds"`
+	Iters  int `json:"iters_per_round"`
+}
+
+// Suite is a labeled set of results plus enough environment to judge whether
+// a comparison is apples-to-apples.
+type Suite struct {
+	Label   string   `json:"label"`
+	GoOS    string   `json:"goos"`
+	GoArch  string   `json:"goarch"`
+	NumCPU  int      `json:"num_cpu"`
+	Results []Result `json:"results"`
+}
+
+// Run measures one benchmark: rounds rounds of b.Iters iterations each,
+// reporting the fastest round. A GC runs before each round so earlier
+// rounds' garbage is not charged to later ones.
+func Run(b Bench, rounds int) Result {
+	if rounds < 1 {
+		rounds = 1
+	}
+	if b.Iters < 1 {
+		b.Iters = 1
+	}
+	b.Fn() // warm-up: page in code and data, fill caches
+	var best time.Duration
+	var bestAllocs uint64
+	var ms runtime.MemStats
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
+		start := time.Now()
+		for i := 0; i < b.Iters; i++ {
+			b.Fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if r == 0 || elapsed < best {
+			best = elapsed
+			bestAllocs = ms.Mallocs - m0
+		}
+	}
+	return Result{
+		Name:        b.Name,
+		NsPerOp:     float64(best.Nanoseconds()) / float64(b.Iters),
+		AllocsPerOp: float64(bestAllocs) / float64(b.Iters),
+		Rounds:      rounds,
+		Iters:       b.Iters,
+	}
+}
+
+// RunSuite measures every benchmark, reporting progress per benchmark.
+func RunSuite(label string, benches []Bench, rounds int, progress io.Writer) Suite {
+	s := Suite{Label: label, GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	for _, b := range benches {
+		res := Run(b, rounds)
+		s.Results = append(s.Results, res)
+		if progress != nil {
+			fmt.Fprintf(progress, "%-24s %14.0f ns/op %12.0f allocs/op\n",
+				res.Name, res.NsPerOp, res.AllocsPerOp)
+		}
+	}
+	return s
+}
+
+// WriteFile writes a suite as indented JSON.
+func WriteFile(path string, s Suite) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile reads a suite file written by WriteFile.
+func ReadFile(path string) (Suite, error) {
+	var s Suite
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Regression is one benchmark that got slower than the baseline allows.
+type Regression struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	// Ratio is current/baseline - 1: 0.20 means 20% slower.
+	Ratio float64
+}
+
+// Compare checks current against baseline with the given regression
+// threshold (0.15 = fail when a benchmark is more than 15% slower).
+// Benchmarks present in the baseline but missing from current are returned
+// in missing — a silently dropped benchmark must not pass the gate.
+// Benchmarks new in current are ignored: they have nothing to regress from.
+func Compare(baseline, current Suite, threshold float64) (regressions []Regression, missing []string) {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	for _, b := range baseline.Results {
+		c, ok := cur[b.Name]
+		if !ok {
+			missing = append(missing, b.Name)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp/b.NsPerOp - 1
+		if ratio > threshold {
+			regressions = append(regressions, Regression{
+				Name: b.Name, BaselineNs: b.NsPerOp, CurrentNs: c.NsPerOp, Ratio: ratio,
+			})
+		}
+	}
+	sort.Slice(regressions, func(i, j int) bool { return regressions[i].Ratio > regressions[j].Ratio })
+	sort.Strings(missing)
+	return regressions, missing
+}
+
+// Annotation renders a regression as a GitHub Actions workflow command so
+// the failure shows up inline on the pull request.
+func (r Regression) Annotation() string {
+	return fmt.Sprintf("::error title=Benchmark regression: %s::%s is %.1f%% slower than baseline (%.0f ns/op vs %.0f ns/op)",
+		r.Name, r.Name, 100*r.Ratio, r.CurrentNs, r.BaselineNs)
+}
+
+// String renders a regression for plain logs.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%)",
+		r.Name, r.CurrentNs, r.BaselineNs, 100*r.Ratio)
+}

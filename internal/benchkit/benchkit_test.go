@@ -1,0 +1,119 @@
+package benchkit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var sink []byte // defeats escape analysis so the test allocation hits the heap
+
+func TestRunCountsIterationsAndAllocs(t *testing.T) {
+	calls := 0
+	res := Run(Bench{Name: "alloc", Iters: 10, Fn: func() {
+		calls++
+		sink = make([]byte, 1<<16)
+	}}, 3)
+	// Warm-up call + 3 rounds of 10.
+	if calls != 1+3*10 {
+		t.Errorf("calls = %d, want %d", calls, 1+3*10)
+	}
+	if res.NsPerOp <= 0 {
+		t.Errorf("NsPerOp = %g, want > 0", res.NsPerOp)
+	}
+	// Each iteration makes exactly one heap allocation; background GC may
+	// add a few mallocs of its own, so allow slack above but not below.
+	if res.AllocsPerOp < 1 || res.AllocsPerOp > 3 {
+		t.Errorf("AllocsPerOp = %g, want about 1", res.AllocsPerOp)
+	}
+	if res.Rounds != 3 || res.Iters != 10 {
+		t.Errorf("protocol = %d rounds x %d iters, want 3 x 10", res.Rounds, res.Iters)
+	}
+}
+
+func TestRunClampsDegenerateProtocol(t *testing.T) {
+	res := Run(Bench{Name: "x", Iters: 0, Fn: func() {}}, 0)
+	if res.Rounds != 1 || res.Iters != 1 {
+		t.Errorf("protocol = %d rounds x %d iters, want 1 x 1", res.Rounds, res.Iters)
+	}
+}
+
+func TestCompareFlagsRegressionsAndMissing(t *testing.T) {
+	base := Suite{Results: []Result{
+		{Name: "fast", NsPerOp: 100},
+		{Name: "slow", NsPerOp: 100},
+		{Name: "gone", NsPerOp: 100},
+	}}
+	cur := Suite{Results: []Result{
+		{Name: "fast", NsPerOp: 110}, // +10%: inside a 15% threshold
+		{Name: "slow", NsPerOp: 130}, // +30%: regression
+		{Name: "new", NsPerOp: 999},  // not in baseline: ignored
+	}}
+	regs, missing := Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Name != "slow" {
+		t.Fatalf("regressions = %+v, want exactly slow", regs)
+	}
+	if got := regs[0].Ratio; got < 0.29 || got > 0.31 {
+		t.Errorf("ratio = %g, want ~0.30", got)
+	}
+	if len(missing) != 1 || missing[0] != "gone" {
+		t.Errorf("missing = %v, want [gone]", missing)
+	}
+}
+
+func TestCompareSortsWorstFirst(t *testing.T) {
+	base := Suite{Results: []Result{{Name: "a", NsPerOp: 100}, {Name: "b", NsPerOp: 100}}}
+	cur := Suite{Results: []Result{{Name: "a", NsPerOp: 120}, {Name: "b", NsPerOp: 150}}}
+	regs, _ := Compare(base, cur, 0.1)
+	if len(regs) != 2 || regs[0].Name != "b" {
+		t.Fatalf("regressions = %+v, want b first", regs)
+	}
+}
+
+func TestSuiteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := Suite{Label: "test", GoOS: "linux", GoArch: "amd64", NumCPU: 8,
+		Results: []Result{{Name: "a", NsPerOp: 123.5, AllocsPerOp: 7, Rounds: 3, Iters: 10}}}
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != want.Label || len(got.Results) != 1 || got.Results[0] != want.Results[0] {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("want error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteFile(bad, Suite{}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it.
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("want error for corrupt file")
+	}
+}
+
+func TestAnnotationFormat(t *testing.T) {
+	r := Regression{Name: "study_serial", BaselineNs: 1000, CurrentNs: 1200, Ratio: 0.2}
+	a := r.Annotation()
+	if !strings.HasPrefix(a, "::error title=Benchmark regression: study_serial::") {
+		t.Errorf("annotation %q lacks the workflow-command prefix", a)
+	}
+	if !strings.Contains(a, "20.0% slower") {
+		t.Errorf("annotation %q lacks the ratio", a)
+	}
+	if strings.ContainsAny(a, "\n") {
+		t.Errorf("annotation %q must be a single line", a)
+	}
+}

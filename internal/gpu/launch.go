@@ -69,11 +69,13 @@ type LaunchResult struct {
 	StallExec, StallPipe, StallSync, StallMem units.Fraction
 }
 
-// Device models one GPU. Launch is safe for concurrent use; trace replay is
-// serialized internally because the cache simulator is stateful.
+// Device models one GPU. Launch is safe for concurrent use: trace replays
+// run against per-launch cache-hierarchy states borrowed from a pool, so
+// concurrent launches never contend on shared simulator state.
 type Device struct {
 	cfg      DeviceConfig
 	locality *memsim.LocalityModel
+	replay   *memsim.ReplayPool
 
 	tracer   telemetry.Tracer
 	counters *telemetry.Counters
@@ -82,8 +84,7 @@ type Device struct {
 	// model entirely — the spec-extraction mode behind `cactus lint`.
 	audit bool
 
-	mu    sync.Mutex
-	hier  *memsim.Hierarchy
+	mu    sync.Mutex // guards specs (audit mode only)
 	specs []KernelSpec
 }
 
@@ -95,7 +96,7 @@ func New(cfg DeviceConfig) (*Device, error) {
 	return &Device{
 		cfg:      cfg,
 		locality: memsim.NewLocalityModel(cfg.NumSMs, cfg.L1BytesPerSM, cfg.L2Bytes),
-		hier:     memsim.NewHierarchy(cfg.L1Config(), cfg.L2Config()),
+		replay:   memsim.NewReplayPool(cfg.L1Config(), cfg.L2Config()),
 		tracer:   telemetry.Nop,
 	}, nil
 }
@@ -175,12 +176,14 @@ func (d *Device) Launch(spec KernelSpec) (LaunchResult, error) {
 		return LaunchResult{}, fmt.Errorf("gpu: kernel %s: %w", spec.Name, err)
 	}
 	if spec.Trace != nil {
-		d.mu.Lock()
-		d.hier.Reset()
-		spec.Trace(d.hier)
-		traced := d.hier.Traffic().Scale(1 / spec.TraceCoverage)
-		d.mu.Unlock()
-		traffic.Add(traced)
+		// Each replay borrows its own reset hierarchy state, so concurrent
+		// launches on a shared device proceed without serialization; the
+		// replay itself is deterministic, so results stay byte-identical to
+		// a serial run.
+		hier := d.replay.Get()
+		spec.Trace(hier)
+		traffic.Add(hier.Traffic().Scale(1 / spec.TraceCoverage))
+		d.replay.Put(hier)
 	}
 
 	// --- Occupancy and efficiency ---------------------------------------

@@ -383,19 +383,23 @@ func (em *bfsEmitter) advanceTrace(frontier []int32, totalEdges int) (gpu.TraceF
 	}
 	r := uint64(em.cfg.replication())
 	return func(h *memsim.Hierarchy) {
+		// Addresses go through a Batcher so the hierarchy processes them in
+		// blocks; the issue order is exactly the per-access order.
+		b := memsim.NewBatcher(h, false)
 		for _, u := range sample {
-			h.Access(offsBase+uint64(u)*4*r, false)
+			b.Access(offsBase + uint64(u)*4*r)
 			lo, hi := g.Offsets[u], g.Offsets[u+1]
 			base := edgeBase + uint64(lo)*4*r
 			for e := lo; e < hi; e++ {
 				// Edge runs stay sequential; runs of different vertices land
 				// r-stretched apart, and label gathers spread over the
 				// full-scale label array.
-				h.Access(base+uint64(e-lo)*4, false)
+				b.Access(base + uint64(e-lo)*4)
 				v := g.Edges[e]
-				h.Access(labelBase+uint64(v)*4*r, false)
+				b.Access(labelBase + uint64(v)*4*r)
 			}
 		}
+		b.Flush()
 	}, coverage
 }
 
@@ -410,6 +414,7 @@ func (em *bfsEmitter) pullTrace(depth []int32, d int32, totalEdges int) (gpu.Tra
 	}
 	r := uint64(em.cfg.replication())
 	return func(h *memsim.Hierarchy) {
+		b := memsim.NewBatcher(h, false)
 		replayed := 0
 		for v := 0; v < g.N && replayed < budget; v++ {
 			// Replay the same work pattern the functional pass executed:
@@ -418,17 +423,18 @@ func (em *bfsEmitter) pullTrace(depth []int32, d int32, totalEdges int) (gpu.Tra
 			if depth[v] != -1 && depth[v] != d {
 				continue
 			}
-			h.Access(offsBase+uint64(v)*4*r, false)
+			b.Access(offsBase + uint64(v)*4*r)
 			lo := g.Offsets[v]
 			for i, u := range g.Neighbors(v) {
-				h.Access(edgeBase+(uint64(lo)*r+uint64(i))*4, false)
-				h.Access(labelBase+uint64(u)*4*r, false)
+				b.Access(edgeBase + (uint64(lo)*r+uint64(i))*4)
+				b.Access(labelBase + uint64(u)*4*r)
 				replayed++
 				if depth[u] == d-1 {
 					break
 				}
 			}
 		}
+		b.Flush()
 	}, coverage
 }
 

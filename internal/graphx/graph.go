@@ -10,6 +10,7 @@ package graphx
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 )
 
@@ -68,6 +69,56 @@ func fromAdjacency(adj [][]int32) *Graph {
 	return g
 }
 
+// fromEdges builds a CSR graph from an undirected edge list (each pair
+// stored in both directions), sorting and deduplicating neighbor sets and
+// dropping self-loops — the same normalization as fromAdjacency, but via a
+// two-pass counting build into flat arrays instead of growing one slice per
+// vertex, which is where the generators used to spend their allocation time.
+func fromEdges(n int, us, vs []int32) *Graph {
+	// Degree count, then prefix-sum into per-vertex cursors.
+	pos := make([]int32, n+1)
+	for i := range us {
+		pos[us[i]]++
+		pos[vs[i]]++
+	}
+	var run int32
+	for v := 0; v <= n; v++ {
+		run, pos[v] = run+pos[v], run
+	}
+	edges := make([]int32, 2*len(us))
+	for i := range us {
+		u, v := us[i], vs[i]
+		edges[pos[u]] = v
+		pos[u]++
+		edges[pos[v]] = u
+		pos[v]++
+	}
+	// pos[v] now marks the end of v's range (and pos[v-1] its start). Sort
+	// each range, then compact dedup/self-loop-free runs toward the front;
+	// the write cursor never passes a range's read start.
+	g := &Graph{N: n, Offsets: make([]int32, n+1)}
+	w := int32(0)
+	lo := int32(0)
+	for v := 0; v < n; v++ {
+		hi := pos[v]
+		g.Offsets[v] = w
+		nb := edges[lo:hi]
+		slices.Sort(nb)
+		var prev int32 = -1
+		for _, u := range nb {
+			if u != prev && int(u) != v {
+				edges[w] = u
+				w++
+				prev = u
+			}
+		}
+		lo = hi
+	}
+	g.Offsets[n] = w
+	g.Edges = edges[:w:w]
+	return g
+}
+
 // RMAT generates a scale-free RMAT graph with 2^scale vertices and about
 // edgeFactor*2^scale undirected edges (stored in both directions) — the
 // stand-in for the paper's SOC-Twitter10 social network (21 M vertices,
@@ -84,7 +135,8 @@ func RMAT(scale, edgeFactor int, seed int64) (*Graph, error) {
 	n := 1 << scale
 	m := n * edgeFactor
 	r := rand.New(rand.NewSource(seed))
-	adj := make([][]int32, n)
+	us := make([]int32, 0, m)
+	vs := make([]int32, 0, m)
 	const a, b, c = 0.57, 0.19, 0.19
 	for e := 0; e < m; e++ {
 		u, v := 0, 0
@@ -105,10 +157,10 @@ func RMAT(scale, edgeFactor int, seed int64) (*Graph, error) {
 		if u == v {
 			continue
 		}
-		adj[u] = append(adj[u], int32(v))
-		adj[v] = append(adj[v], int32(u))
+		us = append(us, int32(u))
+		vs = append(vs, int32(v))
 	}
-	return fromAdjacency(adj), nil
+	return fromEdges(n, us, vs), nil
 }
 
 // RoadGrid generates a road-network-like graph: a w x h lattice with
@@ -123,10 +175,11 @@ func RoadGrid(w, h int, seed int64) (*Graph, error) {
 	}
 	n := w * h
 	r := rand.New(rand.NewSource(seed))
-	adj := make([][]int32, n)
+	us := make([]int32, 0, 2*n)
+	vs := make([]int32, 0, 2*n)
 	add := func(u, v int) {
-		adj[u] = append(adj[u], int32(v))
-		adj[v] = append(adj[v], int32(u))
+		us = append(us, int32(u))
+		vs = append(vs, int32(v))
 	}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -146,7 +199,7 @@ func RoadGrid(w, h int, seed int64) (*Graph, error) {
 			add(u, v)
 		}
 	}
-	return fromAdjacency(adj), nil
+	return fromEdges(n, us, vs), nil
 }
 
 // LargestComponentVertex returns a vertex in (very likely) the largest

@@ -83,13 +83,21 @@ func BuildNeighborList(s *System, cutoff, skin float64) (*NeighborList, error) {
 		iz := int(pi[2] / cl.size)
 		// Collect the distinct neighbor cells: with fewer than 3 cells per
 		// edge, wrapped offsets alias onto the same cell and a naive 27-way
-		// scan would double-count pairs.
+		// scan would double-count pairs. With side >= 3 the 27 wrapped
+		// offsets are provably distinct, so the quadratic duplicate scan is
+		// skipped — the cells still fill in the same loop order, so the
+		// neighbor list comes out identical.
 		nCells := 0
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
 				for dz := -1; dz <= 1; dz++ {
 					cx, cy, cz := (ix+dx+side)%side, (iy+dy+side)%side, (iz+dz+side)%side
 					id := (cx*side+cy)*side + cz
+					if side >= 3 {
+						cells[nCells] = id
+						nCells++
+						continue
+					}
 					dup := false
 					for k := 0; k < nCells; k++ {
 						if cells[k] == id {

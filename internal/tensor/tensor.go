@@ -136,21 +136,15 @@ func MatMul(a, b *Tensor, transA, transB bool) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: matmul inner dims %d != %d", k, k2)
 	}
 	c := New(m, n)
-	at := func(i, j int) float32 {
-		if transA {
-			return a.Data[j*a.Shape[1]+i]
-		}
-		return a.Data[i*a.Shape[1]+j]
-	}
-	bt := func(i, j int) float32 {
-		if transB {
-			return b.Data[j*b.Shape[1]+i]
-		}
-		return b.Data[i*b.Shape[1]+j]
-	}
+	lda, ldb := a.Shape[1], b.Shape[1]
 	for i := 0; i < m; i++ {
 		for kk := 0; kk < k; kk++ {
-			av := at(i, kk)
+			var av float32
+			if transA {
+				av = a.Data[kk*lda+i]
+			} else {
+				av = a.Data[i*lda+kk]
+			}
 			if av == 0 {
 				continue
 			}
@@ -161,8 +155,8 @@ func MatMul(a, b *Tensor, transA, transB bool) (*Tensor, error) {
 					row[j] += av * brow[j]
 				}
 			} else {
-				for j := 0; j < n; j++ {
-					row[j] += av * bt(kk, j)
+				for j := range row {
+					row[j] += av * b.Data[j*ldb+kk]
 				}
 			}
 		}
@@ -191,37 +185,73 @@ func Conv2D(x, w, b *Tensor, stride, pad int) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: conv2d empty output for input %dx%d kernel %dx%d", h, wd, kh, kw)
 	}
 	out := New(n, f, oh, ow)
+	// Accumulate tap by tap into the output plane instead of summing taps
+	// per output element: each element still receives its contributions in
+	// (ci, ky, kx) order starting from the bias, so the result is
+	// bit-identical to the naive nest, but the inner loop becomes a
+	// contiguous AXPY over an output row (stride 1) with the weight hoisted.
 	for ni := 0; ni < n; ni++ {
 		for fi := 0; fi < f; fi++ {
-			bias := float32(0)
+			plane := out.Data[(ni*f+fi)*oh*ow : (ni*f+fi+1)*oh*ow]
 			if b != nil {
-				bias = b.Data[fi]
+				bias := b.Data[fi]
+				for i := range plane {
+					plane[i] = bias
+				}
 			}
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					sum := bias
-					for ci := 0; ci < c; ci++ {
-						for ky := 0; ky < kh; ky++ {
-							iy := oy*stride + ky - pad
-							if iy < 0 || iy >= h {
+			for ci := 0; ci < c; ci++ {
+				xplane := x.Data[(ni*c+ci)*h*wd : (ni*c+ci+1)*h*wd]
+				wrow := w.Data[(fi*cw+ci)*kh*kw : (fi*cw+ci+1)*kh*kw]
+				for ky := 0; ky < kh; ky++ {
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						xrow := xplane[iy*wd : iy*wd+wd]
+						orow := plane[oy*ow : oy*ow+ow]
+						for kx := 0; kx < kw; kx++ {
+							wv := wrow[ky*kw+kx]
+							oxLo, oxHi := convOxRange(kx, pad, stride, wd, ow)
+							if oxLo > oxHi {
 								continue
 							}
-							for kx := 0; kx < kw; kx++ {
-								ix := ox*stride + kx - pad
-								if ix < 0 || ix >= wd {
-									continue
+							xoff := kx - pad
+							if stride == 1 {
+								xr := xrow[oxLo+xoff : oxHi+xoff+1]
+								or := orow[oxLo : oxHi+1]
+								for t := range or {
+									or[t] += wv * xr[t]
 								}
-								sum += x.Data[((ni*c+ci)*h+iy)*wd+ix] *
-									w.Data[((fi*cw+ci)*kh+ky)*kw+kx]
+							} else {
+								for ox := oxLo; ox <= oxHi; ox++ {
+									orow[ox] += wv * xrow[ox*stride+xoff]
+								}
 							}
 						}
 					}
-					out.Data[((ni*f+fi)*oh+oy)*ow+ox] = sum
 				}
 			}
 		}
 	}
 	return out, nil
+}
+
+// convOxRange returns the inclusive output-column range [lo, hi] for which
+// the input column ox*stride + kx - pad falls inside [0, wd). An empty range
+// reports lo > hi.
+func convOxRange(kx, pad, stride, wd, ow int) (lo, hi int) {
+	lo = 0
+	if num := pad - kx; num > 0 {
+		lo = (num + stride - 1) / stride
+	}
+	hi = ow - 1
+	if num := wd - 1 + pad - kx; num < 0 {
+		return 1, 0
+	} else if byInput := num / stride; byInput < hi {
+		hi = byInput
+	}
+	return lo, hi
 }
 
 // Conv2DGrads computes input and weight gradients of Conv2D.
@@ -232,30 +262,40 @@ func Conv2DGrads(x, w, dy *Tensor, stride, pad int) (dx, dw, db *Tensor, err err
 	dx = New(n, c, h, wd)
 	dw = New(f, c, kh, kw)
 	db = New(f)
+	// The loop nest (and with it every accumulation order into dx, dw, db)
+	// matches the naive formulation exactly; only the inner kx walk changes,
+	// from per-tap index arithmetic to contiguous slices — the valid kx range
+	// is computed up front instead of bounds-checking ix per tap.
 	for ni := 0; ni < n; ni++ {
 		for fi := 0; fi < f; fi++ {
 			for oy := 0; oy < oh; oy++ {
+				dyRow := dy.Data[((ni*f+fi)*oh+oy)*ow : ((ni*f+fi)*oh+oy)*ow+ow]
 				for ox := 0; ox < ow; ox++ {
-					g := dy.Data[((ni*f+fi)*oh+oy)*ow+ox]
+					g := dyRow[ox]
 					if g == 0 {
 						continue
 					}
 					db.Data[fi] += g
+					kxLo, kxHi := convKxRange(ox, pad, stride, wd, kw)
+					if kxLo > kxHi {
+						continue
+					}
+					span := kxHi - kxLo + 1
 					for ci := 0; ci < c; ci++ {
 						for ky := 0; ky < kh; ky++ {
 							iy := oy*stride + ky - pad
 							if iy < 0 || iy >= h {
 								continue
 							}
-							for kx := 0; kx < kw; kx++ {
-								ix := ox*stride + kx - pad
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								xi := ((ni*c+ci)*h+iy)*wd + ix
-								wi := ((fi*c+ci)*kh+ky)*kw + kx
-								dx.Data[xi] += g * w.Data[wi]
-								dw.Data[wi] += g * x.Data[xi]
+							xBase := ((ni*c+ci)*h+iy)*wd + ox*stride - pad + kxLo
+							wBase := ((fi*c+ci)*kh+ky)*kw + kxLo
+							xr := x.Data[xBase : xBase+span]
+							wr := w.Data[wBase : wBase+span]
+							dxr := dx.Data[xBase : xBase+span]
+							dwr := dw.Data[wBase : wBase+span]
+							for t := range xr {
+								dxr[t] += g * wr[t]
+								dwr[t] += g * xr[t]
 							}
 						}
 					}
@@ -264,6 +304,21 @@ func Conv2DGrads(x, w, dy *Tensor, stride, pad int) (dx, dw, db *Tensor, err err
 		}
 	}
 	return dx, dw, db, nil
+}
+
+// convKxRange returns the inclusive kernel-column range [lo, hi] for which
+// the input column ox*stride + kx - pad falls inside [0, wd). An empty range
+// reports lo > hi.
+func convKxRange(ox, pad, stride, wd, kw int) (lo, hi int) {
+	lo = 0
+	if num := pad - ox*stride; num > 0 {
+		lo = num
+	}
+	hi = kw - 1
+	if byInput := wd - 1 - ox*stride + pad; byInput < hi {
+		hi = byInput
+	}
+	return lo, hi
 }
 
 // ConvTranspose2D computes a NCHW transposed convolution (deconvolution):
@@ -294,27 +349,35 @@ func ConvTranspose2D(x, w, b *Tensor, stride, pad int) (*Tensor, error) {
 			}
 		}
 	}
+	// Same nest as the naive formulation (accumulation order into out is
+	// unchanged); the kx walk becomes one contiguous AXPY per (ky, fi) over
+	// the output row, with the valid kx range hoisted out of the loop.
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
 			for iy := 0; iy < h; iy++ {
+				xRow := x.Data[((ni*c+ci)*h+iy)*wd : ((ni*c+ci)*h+iy)*wd+wd]
 				for ix := 0; ix < wd; ix++ {
-					xv := x.Data[((ni*c+ci)*h+iy)*wd+ix]
+					xv := xRow[ix]
 					if xv == 0 {
 						continue
 					}
+					kxLo, kxHi := convKxRange(ix, pad, stride, ow, kw)
+					if kxLo > kxHi {
+						continue
+					}
+					span := kxHi - kxLo + 1
 					for fi := 0; fi < f; fi++ {
 						for ky := 0; ky < kh; ky++ {
 							oy := iy*stride + ky - pad
 							if oy < 0 || oy >= oh {
 								continue
 							}
-							for kx := 0; kx < kw; kx++ {
-								ox := ix*stride + kx - pad
-								if ox < 0 || ox >= ow {
-									continue
-								}
-								out.Data[((ni*f+fi)*oh+oy)*ow+ox] +=
-									xv * w.Data[((ci*f+fi)*kh+ky)*kw+kx]
+							oBase := ((ni*f+fi)*oh+oy)*ow + ix*stride - pad + kxLo
+							wBase := ((ci*f+fi)*kh+ky)*kw + kxLo
+							or := out.Data[oBase : oBase+span]
+							wr := w.Data[wBase : wBase+span]
+							for t := range or {
+								or[t] += xv * wr[t]
 							}
 						}
 					}
@@ -341,30 +404,40 @@ func ConvTranspose2DGrads(x, w, dy *Tensor, stride, pad int) (dx, dw, db *Tensor
 			}
 		}
 	}
+	// Same nest as the naive formulation. dx[xi] accumulates through a local
+	// running value seeded from the current entry — the identical sequence
+	// of adds, kept in a register — and the kx walk uses contiguous slices.
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
 			for iy := 0; iy < h; iy++ {
 				for ix := 0; ix < wd; ix++ {
 					xi := ((ni*c+ci)*h+iy)*wd + ix
 					xv := x.Data[xi]
+					kxLo, kxHi := convKxRange(ix, pad, stride, ow, kw)
+					if kxLo > kxHi {
+						continue
+					}
+					span := kxHi - kxLo + 1
+					acc := dx.Data[xi]
 					for fi := 0; fi < f; fi++ {
 						for ky := 0; ky < kh; ky++ {
 							oy := iy*stride + ky - pad
 							if oy < 0 || oy >= oh {
 								continue
 							}
-							for kx := 0; kx < kw; kx++ {
-								ox := ix*stride + kx - pad
-								if ox < 0 || ox >= ow {
-									continue
-								}
-								g := dy.Data[((ni*f+fi)*oh+oy)*ow+ox]
-								wi := ((ci*f+fi)*kh+ky)*kw + kx
-								dx.Data[xi] += g * w.Data[wi]
-								dw.Data[wi] += g * xv
+							dyBase := ((ni*f+fi)*oh+oy)*ow + ix*stride - pad + kxLo
+							wBase := ((ci*f+fi)*kh+ky)*kw + kxLo
+							dyr := dy.Data[dyBase : dyBase+span]
+							wr := w.Data[wBase : wBase+span]
+							dwr := dw.Data[wBase : wBase+span]
+							for t := range dyr {
+								g := dyr[t]
+								acc += g * wr[t]
+								dwr[t] += g * xv
 							}
 						}
 					}
+					dx.Data[xi] = acc
 				}
 			}
 		}
