@@ -10,7 +10,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/graphx"
+	"repro/internal/isa"
 	"repro/internal/memsim"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -20,6 +22,22 @@ import (
 // fixed here — not auto-tuned — so every run times exactly the same work
 // and ns/op is comparable between runs (see internal/benchkit).
 func benchSuite(cfg gpu.DeviceConfig) []benchkit.Bench {
+	// launch_disabled state: one device with telemetry off, so the entry
+	// times the bare Launch hot path — the cost the observability layer
+	// must not perturb when disabled.
+	launchDev, err := gpu.New(cfg)
+	if err != nil {
+		panic(err) // cfg was validated by the caller; a failure here is a bug
+	}
+	const launchBytes = 8 << 20
+	var launchMix isa.Mix
+	launchMix.Add(isa.FP32, launchBytes/64)
+	launchMix.Add(isa.LoadGlobal, launchBytes/128)
+	// registry_observe state: one registry observed into per iteration —
+	// the marginal cost a study pays per metrics event when enabled.
+	reg := telemetry.NewRegistry()
+	modeled := reg.Histogram(telemetry.HistWorkloadModeledSeconds)
+	l1 := reg.Histogram(telemetry.HistKernelL1HitRate)
 	return []benchkit.Bench{
 		{Name: "study_serial", Iters: 1, Fn: func() {
 			if _, err := core.NewStudy(cfg, core.CactusWorkloads()...); err != nil {
@@ -54,6 +72,23 @@ func benchSuite(cfg gpu.DeviceConfig) []benchkit.Bench {
 			if _, err := graphx.RMAT(15, 8, 42); err != nil {
 				panic(err)
 			}
+		}},
+		{Name: "launch_disabled", Iters: 100, Fn: func() {
+			if _, err := launchDev.Launch(gpu.KernelSpec{
+				Name: "bench_launch", Grid: gpu.D1(1024), Block: gpu.D1(256), Mix: launchMix,
+				Streams: []memsim.Stream{{
+					Name: "s", FootprintBytes: launchBytes, AccessBytes: launchBytes,
+					ElemBytes: 4, Pattern: memsim.Coalesced, Partitioned: true,
+				}},
+			}); err != nil {
+				panic(err)
+			}
+		}},
+		{Name: "registry_observe", Iters: 100000, Fn: func() {
+			modeled.Observe(0.0042)
+			l1.Observe(0.87)
+			reg.Counters().Add(telemetry.CtrLaunches, 1)
+			reg.Counters().Add(telemetry.CtrWarpInstructions, 4096)
 		}},
 	}
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/telemetry"
+	"repro/internal/workloads"
+)
+
+// explainCmd implements `cactus explain [-json] [-launches] [-depth N]
+// [abbr ...]`: the top-down attribution report. It characterizes the given
+// workloads (all of them by default), builds the study → workload → phase
+// attribution tree, verifies the sum-to-1 identity at every node, and
+// renders the tree as aligned text or JSON. With -launches it re-simulates
+// each workload to descend one further level, to individual launches
+// (bypassing the profile cache, which stores no per-launch data).
+func explainCmd(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
+	opts core.StudyOptions, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("cactus explain", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	asJSON := fs.Bool("json", false, "render the attribution tree as JSON")
+	launches := fs.Bool("launches", false, "descend to individual launches (re-simulates, ignoring the cache)")
+	depth := fs.Int("depth", 0, "limit the text rendering to this many levels (0 = all)")
+	if err := fs.Parse(rest[1:]); err != nil {
+		return err
+	}
+	ws := cat.All()
+	if args := fs.Args(); len(args) > 0 {
+		ws = ws[:0]
+		for _, abbr := range args {
+			w, err := cat.Lookup(abbr)
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+	}
+
+	var root *telemetry.AttributionNode
+	if *launches {
+		children := make([]*telemetry.AttributionNode, 0, len(ws))
+		for _, w := range ws {
+			dev, err := gpu.New(cfg)
+			if err != nil {
+				return err
+			}
+			sess := profiler.NewSession(dev)
+			if err := w.Run(sess); err != nil {
+				return fmt.Errorf("explain: %s: %w", w.Abbr(), err)
+			}
+			children = append(children, core.AttributeSession(w.Abbr(), sess))
+		}
+		root = telemetry.AggregateNode(telemetry.LevelStudy, cfg.Name, children)
+	} else {
+		st, err := core.NewStudyWith(cfg, opts, ws...)
+		if err != nil {
+			return err
+		}
+		root = core.Attribute(st)
+	}
+	liveAttribution.Store(root)
+
+	if violations := telemetry.CheckAttribution(root, 0); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(errOut, "cactus explain:", v)
+		}
+		return fmt.Errorf("explain: %d attribution-identity violation(s)", len(violations))
+	}
+	if *asJSON {
+		return telemetry.WriteAttributionJSON(out, root)
+	}
+	return telemetry.WriteAttributionText(out, root, *depth)
+}
+
+// writeMetricsFile renders the registry's Prometheus text exposition to
+// path — the -metrics flag, and the artifact CI attaches to the bench gate.
+func writeMetricsFile(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}

@@ -12,6 +12,7 @@
 //	cactus export <abbr> [file]
 //	cactus trace <abbr> [file]
 //	cactus compare <abbr> [...]
+//	cactus explain [-json] [-launches] [-depth N] [abbr ...]
 //	cactus lint [abbr ...]
 //	cactus audit [abbr ...]
 //	cactus figure <1..9>
@@ -28,7 +29,24 @@
 //	-no-cache                 disable the on-disk profile cache
 //	-trace FILE               write a Chrome trace of the whole study to FILE
 //	-v                        per-workload progress and a counters snapshot on stderr
-//	-pprof ADDR               serve net/http/pprof and expvar counters on ADDR
+//	-metrics FILE             write a Prometheus text metrics snapshot to FILE at exit
+//	-log text|json            structured per-workload logging (log/slog) on stderr
+//	-pprof ADDR               serve pprof, /metrics, and /debug endpoints on ADDR
+//
+// `cactus explain` is the paper's top-down methodology as a live report: it
+// characterizes the requested workloads (all by default) and renders the
+// hierarchical attribution tree — study → workload → phase (all invocations
+// of one kernel), with -launches down to individual launches — splitting
+// every node's modeled time into DRAM-bound, compute-bound, latency-bound,
+// and launch-overhead shares derived from the model's stall attribution.
+// The shares provably sum to 1 at every node (checked on every invocation;
+// violations exit nonzero). -json emits the tree as JSON.
+//
+// The -pprof listener serves, besides net/http/pprof at /debug/pprof/ and
+// expvar at /debug/vars: /metrics (Prometheus text exposition of the
+// study's counters and histograms), /debug/counters (the same snapshot as
+// aligned text, ?format=json for JSON), and /debug/attribution (the latest
+// study's attribution tree as JSON, ?format=text for the aligned report).
 //
 // `cactus lint` statically audits every registered workload's kernel-spec
 // stream against the device limits (Table II) without running the
@@ -66,6 +84,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -101,13 +120,15 @@ func run(args []string, out, errOut io.Writer) error {
 	noCache := fs.Bool("no-cache", false, "disable the on-disk profile cache")
 	traceFile := fs.String("trace", "", "write a Chrome trace of the study to this file")
 	verbose := fs.Bool("v", false, "per-workload progress and counters on stderr")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar counters on this address")
+	metricsFile := fs.String("metrics", "", "write a Prometheus text metrics snapshot to this file at exit")
+	logFormat := fs.String("log", "", "structured per-workload logging on stderr: text or json")
+	pprofAddr := fs.String("pprof", "", "serve pprof, /metrics, and /debug endpoints on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, lint, audit, figure, table, bench, all)")
+		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, explain, lint, audit, figure, table, bench, all)")
 	}
 
 	var cfg gpu.DeviceConfig
@@ -121,7 +142,18 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 
 	counters := telemetry.NewCounters()
-	opts := core.StudyOptions{Workers: *jobs, Counters: counters}
+	registry := telemetry.NewRegistryWith(counters)
+	liveRegistry.Store(registry)
+	opts := core.StudyOptions{Workers: *jobs, Counters: counters, Metrics: registry}
+	switch *logFormat {
+	case "":
+	case "text":
+		opts.Logger = slog.New(slog.NewTextHandler(errOut, nil))
+	case "json":
+		opts.Logger = slog.New(slog.NewJSONHandler(errOut, nil))
+	default:
+		return fmt.Errorf("unknown -log format %q (text or json)", *logFormat)
+	}
 	var rec *telemetry.Recorder
 	if *traceFile != "" {
 		rec = telemetry.NewRecorder()
@@ -143,11 +175,13 @@ func run(args []string, out, errOut io.Writer) error {
 			return fmt.Errorf("pprof listener: %w", err)
 		}
 		defer func() { _ = ln.Close() }() // shutdown race with http.Serve; nothing to do with the error
-		counters.PublishExpvar("cactus")
-		// net/http/pprof and expvar register on the default mux; counters
-		// appear under /debug/vars, profiles under /debug/pprof/.
+		registry.PublishExpvar("cactus")
+		registerObservability()
+		// net/http/pprof and expvar register on the default mux; profiles
+		// live under /debug/pprof/, the metrics snapshot under /debug/vars
+		// and /metrics, the attribution tree under /debug/attribution.
 		go func() { _ = http.Serve(ln, nil) }()
-		fmt.Fprintf(errOut, "cactus: profiling on http://%s/debug/pprof/ (counters at /debug/vars)\n", ln.Addr())
+		fmt.Fprintf(errOut, "cactus: profiling on http://%s/debug/pprof/ (metrics at /metrics, attribution at /debug/attribution)\n", ln.Addr())
 	}
 	if !*noCache {
 		dir := *cacheDir
@@ -176,6 +210,12 @@ func run(args []string, out, errOut io.Writer) error {
 		if err := counters.WriteText(errOut); err != nil && cmdErr == nil {
 			cmdErr = err
 		}
+	}
+	if *metricsFile != "" && cmdErr == nil {
+		if err := writeMetricsFile(*metricsFile, registry); err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "cactus: wrote metrics snapshot to %s\n", *metricsFile)
 	}
 	if rec != nil && cmdErr == nil {
 		if err := writeTraceFile(*traceFile, rec); err != nil {
@@ -218,6 +258,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		if err != nil {
 			return err
 		}
+		liveAttribution.Store(core.Attribute(st))
 		for _, p := range st.Profiles {
 			fmt.Fprintf(out, "%s: %d kernels, %.3f ms GPU time, %s warp insts, agg II %.2f, agg GIPS %.1f\n",
 				p.Abbr(), len(p.Kernels), p.TotalTime.Millis(),
@@ -327,6 +368,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		if err != nil {
 			return err
 		}
+		liveAttribution.Store(core.Attribute(st))
 		switch n {
 		case 2:
 			return core.Figure2(st, out)
@@ -357,6 +399,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 			if err != nil {
 				return err
 			}
+			liveAttribution.Store(core.Attribute(st))
 			return core.Table1(st, out)
 		case "2":
 			return core.Table2(&core.Study{Device: cfg}, out)
@@ -431,6 +474,9 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		}
 		return auditWorkloads(ws, cfg, out, errOut)
 
+	case "explain":
+		return explainCmd(rest, cat, cfg, opts, out, errOut)
+
 	case "bench":
 		return benchCmd(rest, cfg, out, errOut)
 
@@ -439,6 +485,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		if err != nil {
 			return err
 		}
+		liveAttribution.Store(core.Attribute(st))
 		if err := core.Figure1(out); err != nil {
 			return err
 		}

@@ -30,6 +30,8 @@ func TestRunArgValidation(t *testing.T) {
 		{"export wrong arity", []string{"export"}},
 		{"compare without workload", []string{"compare"}},
 		{"audit unknown workload", []string{"audit", "XYZ"}},
+		{"explain unknown workload", []string{"explain", "XYZ"}},
+		{"unknown log format", []string{"-log", "xml", "list"}},
 	}
 	for _, tc := range cases {
 		if err := run(tc.args, io.Discard, io.Discard); err == nil {
@@ -47,7 +49,7 @@ func TestUsageListsEveryCommand(t *testing.T) {
 		t.Fatal("expected a missing-command error")
 	}
 	for _, cmd := range []string{
-		"list", "device", "run", "profile", "export", "trace", "compare", "lint", "audit", "figure", "table", "all",
+		"list", "device", "run", "profile", "export", "trace", "compare", "explain", "lint", "audit", "figure", "table", "bench", "all",
 	} {
 		if !strings.Contains(err.Error(), cmd) {
 			t.Errorf("usage error %q omits command %q", err, cmd)

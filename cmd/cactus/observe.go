@@ -1,0 +1,61 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Live observability state behind the -pprof listener. The handlers render
+// whatever registry and attribution tree the current command most recently
+// produced, through the same snapshot path every offline format uses. The
+// state is package-level (atomics, not locals) because the default
+// net/http mux accepts only one registration per pattern while tests call
+// run() many times per process — the Once keeps re-registration a no-op
+// and the pointers let each run swap in its own state.
+var (
+	liveRegistry    atomic.Pointer[telemetry.Registry]
+	liveAttribution atomic.Pointer[telemetry.AttributionNode]
+	obsOnce         sync.Once
+)
+
+// registerObservability installs the introspection endpoints on the default
+// mux, alongside the /debug/pprof/ and /debug/vars handlers net/http/pprof
+// and expvar already registered:
+//
+//	/metrics            Prometheus text exposition of counters + histograms
+//	/debug/counters     aligned text (or ?format=json) of the same snapshot
+//	/debug/attribution  the latest study's attribution tree as JSON
+//	                    (or ?format=text for the aligned rendering)
+//
+// Handler write errors are dropped deliberately: the client hung up, and
+// there is no one left to report to.
+func registerObservability() {
+	obsOnce.Do(func() {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = liveRegistry.Load().WritePrometheus(w)
+		})
+		http.HandleFunc("/debug/counters", func(w http.ResponseWriter, req *http.Request) {
+			if req.URL.Query().Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				_ = liveRegistry.Load().WriteJSON(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = liveRegistry.Load().WriteText(w)
+		})
+		http.HandleFunc("/debug/attribution", func(w http.ResponseWriter, req *http.Request) {
+			root := liveAttribution.Load()
+			if req.URL.Query().Get("format") == "text" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				_ = telemetry.WriteAttributionText(w, root, 0)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = telemetry.WriteAttributionJSON(w, root)
+		})
+	})
+}

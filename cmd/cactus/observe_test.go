@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// TestObservabilityEndpoints — the -pprof introspection surface serves the
+// live registry and attribution tree through the same snapshot path the
+// offline formats use: /metrics in Prometheus text exposition,
+// /debug/counters in text or JSON, /debug/attribution in JSON or text.
+func TestObservabilityEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counters().Add(telemetry.CtrLaunches, 7)
+	reg.Histogram(telemetry.HistWorkloadModeledSeconds).Observe(0.004)
+	liveRegistry.Store(reg)
+	leaf := &telemetry.AttributionNode{
+		Level: telemetry.LevelLaunch, Name: "k#0",
+		Time: units.Seconds(1e-3), Launches: 1,
+		Shares: telemetry.AttributeStalls(units.Seconds(1e-3), units.Seconds(2.5e-6), 0.4, 0.1, 0.1, 0.05),
+	}
+	liveAttribution.Store(telemetry.AggregateNode(telemetry.LevelStudy, "test-device", []*telemetry.AttributionNode{leaf}))
+
+	registerObservability()
+	srv := httptest.NewServer(http.DefaultServeMux)
+	defer srv.Close()
+	get := func(path string) (body, contentType string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ct := get("/metrics")
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"cactus_gpu_launches 7",
+		"# TYPE cactus_workload_modeled_seconds histogram",
+		`cactus_workload_modeled_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	text, ct := get("/debug/counters")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/debug/counters Content-Type = %q", ct)
+	}
+	if !strings.Contains(text, "gpu.launches") {
+		t.Errorf("/debug/counters text missing the launch counter:\n%s", text)
+	}
+	asJSON, ct := get("/debug/counters?format=json")
+	if ct != "application/json" {
+		t.Errorf("/debug/counters?format=json Content-Type = %q", ct)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(asJSON), &snap); err != nil {
+		t.Fatalf("/debug/counters?format=json is not valid JSON: %v\n%s", err, asJSON)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "gpu.launches" || snap.Counters[0].Value != 7 {
+		t.Errorf("counters snapshot = %+v, want gpu.launches 7", snap.Counters)
+	}
+
+	attr, ct := get("/debug/attribution")
+	if ct != "application/json" {
+		t.Errorf("/debug/attribution Content-Type = %q", ct)
+	}
+	var root struct {
+		Level    string             `json:"level"`
+		Shares   map[string]float64 `json:"shares"`
+		Children []json.RawMessage  `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(attr), &root); err != nil {
+		t.Fatalf("/debug/attribution is not valid JSON: %v\n%s", err, attr)
+	}
+	if root.Level != "study" || len(root.Children) != 1 {
+		t.Errorf("attribution tree = %+v", root)
+	}
+	var sum float64
+	for _, v := range root.Shares {
+		sum += v
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		t.Errorf("attribution root shares sum to %g, want 1", sum)
+	}
+	attrText, _ := get("/debug/attribution?format=text")
+	if !strings.Contains(attrText, "test-device") || !strings.Contains(attrText, "k#0") {
+		t.Errorf("/debug/attribution?format=text rendering:\n%s", attrText)
+	}
+}

@@ -41,6 +41,25 @@ type Result struct {
 	// self-describing.
 	Rounds int `json:"rounds"`
 	Iters  int `json:"iters_per_round"`
+	// RoundNs holds every round's per-iteration time in measurement order,
+	// so a suite file carries the full distribution — best-vs-median spread
+	// is the run's noise floor, not something to re-measure.
+	RoundNs []float64 `json:"round_ns_per_op,omitempty"`
+}
+
+// Median returns the median per-iteration time across rounds, falling back
+// to NsPerOp for files predating round recording.
+func (r Result) Median() float64 {
+	if len(r.RoundNs) == 0 {
+		return r.NsPerOp
+	}
+	s := append([]float64(nil), r.RoundNs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	}
+	n := len(s)
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 // Suite is a labeled set of results plus enough environment to judge whether
@@ -67,6 +86,7 @@ func Run(b Bench, rounds int) Result {
 	var best time.Duration
 	var bestAllocs uint64
 	var ms runtime.MemStats
+	roundNs := make([]float64, 0, rounds)
 	for r := 0; r < rounds; r++ {
 		runtime.GC()
 		runtime.ReadMemStats(&ms)
@@ -77,6 +97,7 @@ func Run(b Bench, rounds int) Result {
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&ms)
+		roundNs = append(roundNs, float64(elapsed.Nanoseconds())/float64(b.Iters))
 		if r == 0 || elapsed < best {
 			best = elapsed
 			bestAllocs = ms.Mallocs - m0
@@ -88,6 +109,7 @@ func Run(b Bench, rounds int) Result {
 		AllocsPerOp: float64(bestAllocs) / float64(b.Iters),
 		Rounds:      rounds,
 		Iters:       b.Iters,
+		RoundNs:     roundNs,
 	}
 }
 
@@ -98,8 +120,8 @@ func RunSuite(label string, benches []Bench, rounds int, progress io.Writer) Sui
 		res := Run(b, rounds)
 		s.Results = append(s.Results, res)
 		if progress != nil {
-			fmt.Fprintf(progress, "%-24s %14.0f ns/op %12.0f allocs/op\n",
-				res.Name, res.NsPerOp, res.AllocsPerOp)
+			fmt.Fprintf(progress, "%-24s %14.0f ns/op (median %14.0f) %12.0f allocs/op\n",
+				res.Name, res.NsPerOp, res.Median(), res.AllocsPerOp)
 		}
 	}
 	return s
@@ -132,6 +154,11 @@ type Regression struct {
 	Name       string
 	BaselineNs float64
 	CurrentNs  float64
+	// BaselineMedianNs and CurrentMedianNs are the median-of-rounds times:
+	// when best-of regressed but medians agree, the "regression" is likely
+	// one unlucky fastest round, not a real slowdown.
+	BaselineMedianNs float64
+	CurrentMedianNs  float64
 	// Ratio is current/baseline - 1: 0.20 means 20% slower.
 	Ratio float64
 }
@@ -158,7 +185,9 @@ func Compare(baseline, current Suite, threshold float64) (regressions []Regressi
 		ratio := c.NsPerOp/b.NsPerOp - 1
 		if ratio > threshold {
 			regressions = append(regressions, Regression{
-				Name: b.Name, BaselineNs: b.NsPerOp, CurrentNs: c.NsPerOp, Ratio: ratio,
+				Name: b.Name, BaselineNs: b.NsPerOp, CurrentNs: c.NsPerOp,
+				BaselineMedianNs: b.Median(), CurrentMedianNs: c.Median(),
+				Ratio: ratio,
 			})
 		}
 	}
@@ -174,8 +203,8 @@ func (r Regression) Annotation() string {
 		r.Name, r.Name, 100*r.Ratio, r.CurrentNs, r.BaselineNs)
 }
 
-// String renders a regression for plain logs.
+// String renders a regression for plain logs, best and median side by side.
 func (r Regression) String() string {
-	return fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%)",
-		r.Name, r.CurrentNs, r.BaselineNs, 100*r.Ratio)
+	return fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%; medians %.0f vs %.0f)",
+		r.Name, r.CurrentNs, r.BaselineNs, 100*r.Ratio, r.CurrentMedianNs, r.BaselineMedianNs)
 }

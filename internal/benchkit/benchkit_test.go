@@ -3,6 +3,7 @@ package benchkit
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -74,7 +75,8 @@ func TestCompareSortsWorstFirst(t *testing.T) {
 func TestSuiteRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	want := Suite{Label: "test", GoOS: "linux", GoArch: "amd64", NumCPU: 8,
-		Results: []Result{{Name: "a", NsPerOp: 123.5, AllocsPerOp: 7, Rounds: 3, Iters: 10}}}
+		Results: []Result{{Name: "a", NsPerOp: 123.5, AllocsPerOp: 7, Rounds: 3, Iters: 10,
+			RoundNs: []float64{123.5, 130, 128}}}}
 	if err := WriteFile(path, want); err != nil {
 		t.Fatal(err)
 	}
@@ -82,8 +84,67 @@ func TestSuiteRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Label != want.Label || len(got.Results) != 1 || got.Results[0] != want.Results[0] {
+	if got.Label != want.Label || len(got.Results) != 1 || !reflect.DeepEqual(got.Results[0], want.Results[0]) {
 		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+// TestRunRecordsEveryRound — the suite file carries the full per-round
+// distribution, with the best round matching NsPerOp.
+func TestRunRecordsEveryRound(t *testing.T) {
+	res := Run(Bench{Name: "r", Iters: 4, Fn: func() { sink = make([]byte, 1<<12) }}, 5)
+	if len(res.RoundNs) != 5 {
+		t.Fatalf("RoundNs has %d entries, want 5", len(res.RoundNs))
+	}
+	best := res.RoundNs[0]
+	for _, ns := range res.RoundNs {
+		if ns <= 0 {
+			t.Errorf("round recorded %g ns/op, want > 0", ns)
+		}
+		if ns < best {
+			best = ns
+		}
+	}
+	if best != res.NsPerOp {
+		t.Errorf("NsPerOp = %g, but the fastest recorded round is %g", res.NsPerOp, best)
+	}
+	if med := res.Median(); med < res.NsPerOp {
+		t.Errorf("median %g below best %g", med, res.NsPerOp)
+	}
+}
+
+// TestMedian covers odd, even, and legacy (no rounds) results.
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		res  Result
+		want float64
+	}{
+		{"odd", Result{RoundNs: []float64{30, 10, 20}}, 20},
+		{"even", Result{RoundNs: []float64{40, 10, 20, 30}}, 25},
+		{"legacy", Result{NsPerOp: 99}, 99},
+	}
+	for _, tc := range cases {
+		if got := tc.res.Median(); got != tc.want {
+			t.Errorf("%s: Median() = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRegressionCarriesMedians — Compare surfaces the medians next to the
+// best-of times, and String renders both.
+func TestRegressionCarriesMedians(t *testing.T) {
+	base := Suite{Results: []Result{{Name: "a", NsPerOp: 100, RoundNs: []float64{100, 105, 110}}}}
+	cur := Suite{Results: []Result{{Name: "a", NsPerOp: 150, RoundNs: []float64{150, 160, 170}}}}
+	regs, _ := Compare(base, cur, 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want 1", regs)
+	}
+	if regs[0].BaselineMedianNs != 105 || regs[0].CurrentMedianNs != 160 {
+		t.Errorf("medians = %g vs %g, want 160 vs 105", regs[0].CurrentMedianNs, regs[0].BaselineMedianNs)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "medians 160 vs 105") {
+		t.Errorf("String() = %q lacks the medians", s)
 	}
 }
 

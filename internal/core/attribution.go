@@ -1,0 +1,90 @@
+// Attribution builders: where internal/telemetry defines the attribution
+// tree's shape, math, and renderers, this file builds trees from the
+// pipeline's own artifacts. Attribute projects a finished Study —
+// live-simulated or cache-loaded, identically — into a study → workload →
+// phase tree; AttributeSession descends one further level, workload →
+// phase → launch, from a live profiling session where the individual
+// launches are still in hand.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Attribute builds the study's top-down attribution tree: one workload
+// node per profile, one phase node per kernel (all invocations of one
+// kernel), every modeled second split into the four bottleneck categories.
+// The tree derives only from Profile fields that round-trip through the
+// profile cache bit-for-bit, so a cache-loaded study attributes
+// identically to a live-simulated one.
+func Attribute(st *Study) *telemetry.AttributionNode {
+	children := make([]*telemetry.AttributionNode, 0, len(st.Profiles))
+	for _, p := range st.Profiles {
+		children = append(children, AttributeProfile(p, st.Device))
+	}
+	return telemetry.AggregateNode(telemetry.LevelStudy, st.Device.Name, children)
+}
+
+// AttributeProfile builds one workload's subtree from its profile. Phase
+// time is reconstructed as TimeShare x TotalTime and phase overhead as
+// Invocations x the device's fixed launch overhead — both exact functions
+// of cached fields, which is what keeps cached and live trees identical.
+func AttributeProfile(p *Profile, cfg gpu.DeviceConfig) *telemetry.AttributionNode {
+	phases := make([]*telemetry.AttributionNode, 0, len(p.Kernels))
+	for _, k := range p.Kernels {
+		t := units.Seconds(k.TimeShare.Float() * p.TotalTime.Float())
+		oh := units.Seconds(float64(k.Invocations) * cfg.LaunchOverheadNs * 1e-9)
+		phases = append(phases, &telemetry.AttributionNode{
+			Level:    telemetry.LevelPhase,
+			Name:     k.Name,
+			Time:     t,
+			Launches: k.Invocations,
+			Shares: telemetry.AttributeStalls(t, oh,
+				units.Clamp01(k.Metrics.Get(profiler.StallMem)),
+				units.Clamp01(k.Metrics.Get(profiler.StallPipe)),
+				units.Clamp01(k.Metrics.Get(profiler.StallExec)),
+				units.Clamp01(k.Metrics.Get(profiler.StallSync))),
+		})
+	}
+	return telemetry.AggregateNode(telemetry.LevelWorkload, p.Abbr(), phases)
+}
+
+// AttributeSession builds one workload's subtree with full launch-level
+// depth from a live profiling session: each launch becomes a leaf carrying
+// its own LaunchResult attribution, each kernel's launches aggregate into
+// a phase, and phases order by descending time then name — the same
+// dominance rank profiler.Session.Kernels uses.
+func AttributeSession(abbr string, sess *profiler.Session) *telemetry.AttributionNode {
+	byName := make(map[string][]*telemetry.AttributionNode)
+	var order []string
+	for _, r := range sess.Launches() {
+		if _, ok := byName[r.Name]; !ok {
+			order = append(order, r.Name)
+		}
+		seq := len(byName[r.Name])
+		byName[r.Name] = append(byName[r.Name], &telemetry.AttributionNode{
+			Level:    telemetry.LevelLaunch,
+			Name:     fmt.Sprintf("%s#%d", r.Name, seq),
+			Time:     r.Time,
+			Launches: 1,
+			Shares:   r.Attribution(),
+		})
+	}
+	phases := make([]*telemetry.AttributionNode, 0, len(order))
+	for _, name := range order {
+		phases = append(phases, telemetry.AggregateNode(telemetry.LevelPhase, name, byName[name]))
+	}
+	sort.SliceStable(phases, func(i, j int) bool {
+		if phases[i].Time != phases[j].Time {
+			return phases[i].Time > phases[j].Time
+		}
+		return phases[i].Name < phases[j].Name
+	})
+	return telemetry.AggregateNode(telemetry.LevelWorkload, abbr, phases)
+}

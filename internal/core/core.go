@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sync"
@@ -207,6 +208,16 @@ type StudyOptions struct {
 	// warp instructions, cache hits/misses/corruption/store errors, busy
 	// workers, and per-workload modeled vs wall time.
 	Counters *telemetry.Counters
+	// Metrics, when non-nil, receives histogram observations as workloads
+	// complete: per-workload modeled and wall seconds, and per-kernel L1/L2
+	// hit rates. When Metrics wraps the same Counters registry
+	// (telemetry.NewRegistryWith), one snapshot covers both. Must be safe
+	// for concurrent use (observed from every worker goroutine).
+	Metrics *telemetry.Registry
+	// Logger, when non-nil, receives structured per-workload completion
+	// events (and cache store-error warnings). Must be safe for concurrent
+	// use; slog handlers are.
+	Logger *slog.Logger
 	// Progress, when non-nil, is invoked once per workload — from the
 	// goroutine that characterized it, in completion order — after its
 	// profile is ready. Must be safe for concurrent use when Workers > 1.
@@ -367,6 +378,10 @@ func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOp
 			if storeErr = opts.Cache.Store(p, cfg); storeErr != nil {
 				storeErr = fmt.Errorf("core: caching %s: %w", w.Abbr(), storeErr)
 				opts.Counters.Add(telemetry.CtrCacheStoreErrors, 1)
+				if opts.Logger != nil {
+					opts.Logger.Warn("profile cache store failed",
+						"workload", w.Abbr(), "error", storeErr.Error())
+				}
 				if tr.Enabled() {
 					tr.Emit(telemetry.Event{
 						Track: telemetry.TrackHost, Phase: telemetry.PhaseInstant,
@@ -386,6 +401,24 @@ func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOp
 	opts.Counters.Add(telemetry.CtrWorkloads, 1)
 	opts.Counters.Add(telemetry.WorkloadModeledNs(w.Abbr()), int64(p.TotalTime.Nanos()))
 	opts.Counters.Add(telemetry.WorkloadWallNs(w.Abbr()), wall.Nanoseconds())
+	if m := opts.Metrics; m != nil {
+		m.Histogram(telemetry.HistWorkloadModeledSeconds).Observe(p.TotalTime.Float())
+		m.Histogram(telemetry.HistWorkloadWallSeconds).Observe(wall.Seconds())
+		l1 := m.Histogram(telemetry.HistKernelL1HitRate)
+		l2 := m.Histogram(telemetry.HistKernelL2HitRate)
+		for _, k := range p.Kernels {
+			l1.Observe(k.Metrics.Get(profiler.L1HitRate))
+			l2.Observe(k.Metrics.Get(profiler.L2HitRate))
+		}
+	}
+	if opts.Logger != nil {
+		opts.Logger.Info("workload characterized",
+			"workload", w.Abbr(),
+			"kernels", len(p.Kernels),
+			"modeled_ms", p.TotalTime.Millis(),
+			"wall_ms", float64(wall.Nanoseconds())/1e6,
+			"cache", outcome.String())
+	}
 	if tr.Enabled() {
 		tr.Emit(telemetry.Event{
 			Track: telemetry.TrackHost, Phase: telemetry.PhaseSpan,

@@ -39,6 +39,11 @@ const relTol = 1e-9
 //   - gips: GIPS does not equal Mix.Total()/Time/1e9
 //   - dram-throughput: achieved DRAM read throughput exceeds the device's
 //     peak bandwidth
+//   - overhead-range: the launch overhead is negative or exceeds the
+//     modeled duration it is part of
+//   - attribution-sum: the top-down bottleneck shares (LaunchResult.
+//     Attribution) do not sum to 1 within tolerance — the per-launch leaf
+//     identity the attribution tree's every level inherits
 func CheckResult(c DeviceConfig, r LaunchResult) []MetricIssue {
 	var issues []MetricIssue
 	add := func(rule, format string, args ...any) {
@@ -88,6 +93,14 @@ func CheckResult(c DeviceConfig, r LaunchResult) []MetricIssue {
 	if got := r.DRAMReadBytesPerSec.Float(); got > peak*(1+relTol) {
 		add("dram-throughput", "DRAM read throughput %.4g B/s exceeds the %s peak %.4g B/s",
 			got, c.Name, peak)
+	}
+
+	if oh, t := r.Overhead.Float(), r.Time.Float(); oh < 0 || oh > t*(1+relTol) {
+		add("overhead-range", "launch overhead %g s is outside [0, Time=%g s]", oh, t)
+	}
+
+	if sum := r.Attribution().Sum(); math.Abs(sum-1) > relTol {
+		add("attribution-sum", "bottleneck shares sum to %.12g, want 1", sum)
 	}
 	return issues
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -62,6 +63,8 @@ func TestCheckResultRules(t *testing.T) {
 		{"throughput-over-peak", func(r *LaunchResult) {
 			r.DRAMReadBytesPerSec = units.BytesPerSec(cfg.DRAMBandwidth * 2e9)
 		}, "dram-throughput"},
+		{"negative-overhead", func(r *LaunchResult) { r.Overhead = -1e-9 }, "overhead-range"},
+		{"overhead-exceeds-time", func(r *LaunchResult) { r.Overhead = r.Time * 2 }, "overhead-range"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -75,6 +78,41 @@ func TestCheckResultRules(t *testing.T) {
 			}
 			t.Errorf("CheckResult issues = %v, want rule %q", issues, tt.wantRule)
 		})
+	}
+}
+
+// TestLaunchAttributionIdentity — every modeled launch's bottleneck
+// shares sum to 1 within the audit tolerance, the overhead share is the
+// carved-out launch overhead, and the attribution-sum audit rule stays
+// clean on model output but catches a corrupted result.
+func TestLaunchAttributionIdentity(t *testing.T) {
+	d := dev(t)
+	cfg := d.Config()
+	for _, spec := range []KernelSpec{computeSpec(1 << 22), memSpec(64 << 20)} {
+		r, err := d.Launch(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := r.Attribution()
+		if sum := s.Sum(); math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: shares sum to %.15g, want 1", spec.Name, sum)
+		}
+		wantOh := r.Overhead.Float() / r.Time.Float()
+		if got := s.Get(telemetry.BottleneckOverhead).Float(); math.Abs(got-wantOh) > 1e-12 {
+			t.Errorf("%s: overhead share = %g, want %g", spec.Name, got, wantOh)
+		}
+		if r.Overhead.Nanos() != cfg.LaunchOverheadNs {
+			t.Errorf("%s: overhead = %g ns, want the device constant %g ns",
+				spec.Name, r.Overhead.Nanos(), cfg.LaunchOverheadNs)
+		}
+	}
+	// A memory-dominated kernel must attribute mostly to DRAM.
+	r, err := d.Launch(memSpec(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom := r.Attribution().Dominant(); dom != telemetry.BottleneckDRAM {
+		t.Errorf("memory-bound kernel dominant category = %s, want dram", dom)
 	}
 }
 

@@ -41,6 +41,9 @@ type LaunchResult struct {
 
 	// Time is the modeled kernel duration, including launch overhead.
 	Time units.Seconds
+	// Overhead is the fixed launch-overhead portion of Time — the input the
+	// top-down attribution tree carves out as its "overhead" category.
+	Overhead units.Seconds
 	// Mix is the executed warp-instruction histogram.
 	Mix isa.Mix
 	// Traffic is the resolved global-memory traffic.
@@ -139,9 +142,10 @@ func (d *Device) auditLaunch(spec KernelSpec) LaunchResult {
 	d.mu.Unlock()
 	return LaunchResult{
 		Name: spec.Name, Grid: spec.Grid, Block: spec.Block,
-		Mix:  spec.Mix,
-		Occ:  occupancyOf(d.cfg, spec),
-		Time: spec.LaunchOverhead(d.cfg),
+		Mix:      spec.Mix,
+		Occ:      occupancyOf(d.cfg, spec),
+		Time:     spec.LaunchOverhead(d.cfg),
+		Overhead: spec.LaunchOverhead(d.cfg),
 	}
 }
 
@@ -238,13 +242,14 @@ func (d *Device) Launch(spec KernelSpec) (LaunchResult, error) {
 
 	// --- Derived metrics --------------------------------------------------
 	res := LaunchResult{
-		Name:    spec.Name,
-		Grid:    spec.Grid,
-		Block:   spec.Block,
-		Time:    units.Seconds(tTotal),
-		Mix:     mix,
-		Traffic: traffic,
-		Occ:     occ,
+		Name:     spec.Name,
+		Grid:     spec.Grid,
+		Block:    spec.Block,
+		Time:     units.Seconds(tTotal),
+		Overhead: spec.LaunchOverhead(d.cfg),
+		Mix:      mix,
+		Traffic:  traffic,
+		Occ:      occ,
 	}
 	res.GIPS = units.WarpInsts(total).PerSec(res.Time) / 1e9
 	res.InstIntensity = units.Intensity(units.WarpInsts(total), traffic.DRAMTxns)
@@ -302,6 +307,15 @@ func (r LaunchResult) TelemetryArgs() map[string]any {
 		"gips":           r.GIPS,
 		"inst_intensity": units.IntensityFloor1(units.WarpInsts(r.Mix.Total()), r.Traffic.DRAMTxns),
 	}
+}
+
+// Attribution splits the launch's modeled time into the four top-down
+// bottleneck categories (DRAM-bound, compute-bound, latency-bound, launch
+// overhead) from its typed stall fields. The shares sum to 1 within
+// telemetry.AttributionTol — CheckResult audits the identity.
+func (r LaunchResult) Attribution() telemetry.BottleneckShares {
+	return telemetry.AttributeStalls(r.Time, r.Overhead,
+		r.StallMem, r.StallPipe, r.StallExec, r.StallSync)
 }
 
 // MustLaunch is Launch that panics on error; for workload code whose specs

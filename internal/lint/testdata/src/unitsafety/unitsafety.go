@@ -76,6 +76,25 @@ func goodConstructed(v float64) rec {
 	return rec{Share: units.Clamp01Of(v).Clamp01()}
 }
 
+// promRow mirrors the metrics registry's snapshot DTO: the row every
+// counter and histogram sample passes through on its way to the
+// Prometheus text exposition (and the JSON snapshot — the json tags are
+// what mark it as a serialization boundary).
+type promRow struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// badProm sends an unguarded hit-rate fraction into the exposition row.
+func badProm(hitRate units.Fraction) promRow {
+	return promRow{Name: "l1_hit_rate", Value: float64(hitRate)} // want "without a Finite/clamp guard"
+}
+
+// goodProm guards the fraction before it reaches the exposition row.
+func goodProm(hitRate units.Fraction) promRow {
+	return promRow{Name: "l1_hit_rate", Value: hitRate.Clamp01()}
+}
+
 // suppressedConv shows a suppressed, reasoned exception.
 func suppressedConv(c units.Cycles) units.Seconds {
 	//lint:ignore unitsafety fixture exercising suppression
@@ -84,4 +103,4 @@ func suppressedConv(c units.Cycles) units.Seconds {
 
 var _ = []any{badConv, badMul, badQuoAssign, badLit, badBoundary, goodConv,
 	goodRatio, goodShare, goodScaled, goodScale, goodFrac, goodIdentity,
-	goodBoundary, goodConstructed, suppressedConv}
+	goodBoundary, goodConstructed, badProm, goodProm, suppressedConv}

@@ -118,8 +118,13 @@ type KernelProfile struct {
 	Name        string
 	Invocations int
 	TotalTime   units.Seconds // summed over invocations
-	Mix         isa.Mix
-	Traffic     memsim.Traffic
+	// TotalOverhead is the summed fixed launch overhead, the portion of
+	// TotalTime the attribution tree reports as BottleneckOverhead. Because
+	// overhead is a device constant per launch, it always equals
+	// Invocations x the device's launch overhead.
+	TotalOverhead units.Seconds
+	Mix           isa.Mix
+	Traffic       memsim.Traffic
 
 	// time-weighted accumulators for averaged metrics (seconds x metric,
 	// raw floats by convention: mixed-dimension intermediates)
@@ -135,6 +140,7 @@ func (k *KernelProfile) WarpInstructions() units.WarpInsts {
 func (k *KernelProfile) add(r gpu.LaunchResult) {
 	k.Invocations++
 	k.TotalTime += r.Time
+	k.TotalOverhead += r.Overhead
 	k.Mix.AddMix(r.Mix)
 	k.Traffic.Add(r.Traffic)
 	w := r.Time.Float()

@@ -139,6 +139,28 @@ func TestKernelAggregation(t *testing.T) {
 	}
 }
 
+// TestKernelTotalOverhead — the profile's accumulated launch overhead is
+// exactly invocations x the device's fixed per-launch overhead, and never
+// exceeds the kernel's total time: the inputs the attribution tree's
+// overhead category derives from.
+func TestKernelTotalOverhead(t *testing.T) {
+	s := session(t)
+	s.MustLaunch(spec("alpha", 1<<24, false))
+	s.MustLaunch(spec("alpha", 1<<24, false))
+	s.MustLaunch(spec("beta", 1<<20, true))
+	perLaunchNs := s.Device().Config().LaunchOverheadNs
+	for _, k := range s.Kernels() {
+		want := float64(k.Invocations) * perLaunchNs
+		if got := k.TotalOverhead.Nanos(); got != want {
+			t.Errorf("%s: TotalOverhead = %g ns, want %g ns", k.Name, got, want)
+		}
+		if k.TotalOverhead > k.TotalTime {
+			t.Errorf("%s: overhead %g s exceeds total time %g s",
+				k.Name, k.TotalOverhead.Float(), k.TotalTime.Float())
+		}
+	}
+}
+
 func TestKernelMetricsVector(t *testing.T) {
 	s := session(t)
 	s.MustLaunch(spec("m", 1<<24, true))

@@ -3,7 +3,6 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
-	"expvar"
 	"fmt"
 	"io"
 	"sort"
@@ -146,16 +145,13 @@ func (c *Counters) WriteJSON(w io.Writer) error {
 // PublishExpvar exposes the registry under the given expvar name (served at
 // /debug/vars by any net/http server on the default mux, e.g. the CLI's
 // -pprof listener). Publishing the same name twice is a no-op rather than
-// the panic expvar.Publish would raise.
+// the panic expvar.Publish would raise. The published value is a
+// MetricsSnapshot rendered through the same snapshot path as every other
+// output format (text, JSON, Prometheus) — a counters-only registry view,
+// so expvar cannot drift from the other emitters.
 func (c *Counters) PublishExpvar(name string) {
-	if c == nil || expvar.Get(name) != nil {
+	if c == nil {
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any {
-		m := make(map[string]int64)
-		for _, cv := range c.Snapshot() {
-			m[cv.Name] = cv.Value
-		}
-		return m
-	}))
+	NewRegistryWith(c).PublishExpvar(name)
 }

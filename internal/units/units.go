@@ -139,6 +139,28 @@ func Share(part, whole Seconds) Fraction {
 	return Ratio(float64(part), float64(whole))
 }
 
+// WeightedMean returns the duration-weighted mean of vals — the fraction
+// Σ wᵢ·vᵢ / Σ wᵢ — clamped to [0,1]. It is the sanctioned way to roll a
+// child level's fractional metrics up an aggregation hierarchy (per-launch
+// bottleneck shares into a kernel, kernels into a workload): the weights
+// are modeled durations, so the mean answers "what fraction of this node's
+// time". Mismatched lengths or a non-positive total weight yield zero.
+func WeightedMean(vals []Fraction, weights []Seconds) Fraction {
+	if len(vals) != len(weights) {
+		return 0
+	}
+	var num, den float64
+	for i, v := range vals {
+		w := weights[i].Float()
+		if w <= 0 {
+			continue
+		}
+		num += w * float64(v)
+		den += w
+	}
+	return Ratio(num, den)
+}
+
 // Intensity returns warp instructions per DRAM transaction — the roofline
 // x-axis. Zero transactions yield +Inf (a compute-only kernel sits
 // infinitely far right on the roofline); use IntensityFloor1 at JSON
