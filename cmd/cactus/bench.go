@@ -105,7 +105,7 @@ func benchCmd(rest []string, cfg gpu.DeviceConfig, out, errOut io.Writer) error 
 		fs.SetOutput(errOut)
 		label := fs.String("label", "current", "suite label; results go to BENCH_<label>.json")
 		rounds := fs.Int("rounds", 3, "rounds per benchmark (the fastest is reported)")
-		if err := fs.Parse(args); err != nil {
+		if err := parseFlags(fs, args); err != nil {
 			return err
 		}
 		suite := benchkit.RunSuite(*label, benchSuite(cfg), *rounds, out)
@@ -124,7 +124,7 @@ func benchCmd(rest []string, cfg gpu.DeviceConfig, out, errOut io.Writer) error 
 		threshold := fs.Float64("threshold", 0.15, "allowed slowdown before failing (0.15 = 15%)")
 		rounds := fs.Int("rounds", 3, "rounds per benchmark when measuring")
 		annotate := fs.Bool("annotate", false, "emit GitHub Actions ::error annotations for regressions")
-		if err := fs.Parse(args); err != nil {
+		if err := parseFlags(fs, args); err != nil {
 			return err
 		}
 		baseline, err := benchkit.ReadFile(*baselinePath)
@@ -173,7 +173,7 @@ func benchCmd(rest []string, cfg gpu.DeviceConfig, out, errOut io.Writer) error 
 		fs.SetOutput(errOut)
 		tolerance := fs.Float64("tolerance", 0.25, "allowed parallel-over-serial slowdown (0.25 = 25%)")
 		rounds := fs.Int("rounds", 2, "rounds per worker count (the fastest is reported)")
-		if err := fs.Parse(args); err != nil {
+		if err := parseFlags(fs, args); err != nil {
 			return err
 		}
 		var serialNs float64
@@ -200,5 +200,5 @@ func benchCmd(rest []string, cfg gpu.DeviceConfig, out, errOut io.Writer) error 
 		fmt.Fprintf(errOut, "cactus bench scaling: parallel within %.0f%% of serial\n", 100**tolerance)
 		return nil
 	}
-	return fmt.Errorf("bench: unknown subcommand %q (run, check, scaling)", sub)
+	return usagef("bench: unknown subcommand %q (run, check, scaling)", sub)
 }

@@ -27,7 +27,7 @@ func explainCmd(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 	asJSON := fs.Bool("json", false, "render the attribution tree as JSON")
 	launches := fs.Bool("launches", false, "descend to individual launches (re-simulates, ignoring the cache)")
 	depth := fs.Int("depth", 0, "limit the text rendering to this many levels (0 = all)")
-	if err := fs.Parse(rest[1:]); err != nil {
+	if err := parseFlags(fs, rest[1:]); err != nil {
 		return err
 	}
 	ws := cat.All()

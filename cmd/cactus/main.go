@@ -18,6 +18,7 @@
 //	cactus figure <1..9>
 //	cactus table <1..4>
 //	cactus bench [run|check|scaling] [flags]
+//	cactus serve [-addr HOST:PORT] [-lru N] [-max-inflight N] [-timeout D]
 //	cactus all
 //
 // Flags:
@@ -72,6 +73,15 @@
 // baseline — the CI perf gate. `cactus bench scaling` checks the parallel
 // study is not slower than serial at -j 2 and -j 8.
 //
+// `cactus serve` runs the characterization pipeline as a long-running HTTP
+// service (see internal/server): profiles, roofline placements, cross-device
+// comparisons, and attribution trees for any workload × device combination,
+// answered from an in-memory LRU with singleflight collapse of concurrent
+// identical studies. The global -j, -cache, and -metrics flags apply.
+//
+// Exit codes: 0 on success, 1 on a runtime failure, 2 on a usage error
+// (unknown command or flag, wrong arity, out-of-range argument).
+//
 // `cactus trace <abbr>` records one workload's launch timeline as Chrome
 // trace-event JSON (load it in chrome://tracing or https://ui.perfetto.dev):
 // the modeled-GPU-time track lays kernels end to end using modeled
@@ -81,6 +91,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -97,7 +108,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/profiler"
-	"repro/internal/report"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -105,14 +115,59 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "cactus:", err)
-		os.Exit(1)
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks a failure the user caused by invoking cactus wrong —
+// unknown command or flag, wrong arity, out-of-range argument. It exits 2,
+// distinguishing "you asked wrong" from "the run failed" (exit 1), so
+// scripts can tell a typo from a real regression. printed suppresses the
+// final error line for flag-parse errors the flag package already reported.
+type usageError struct {
+	msg     string
+	printed bool
+}
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// parseFlags runs fs.Parse and classifies the failure: -h/-help passes
+// through as flag.ErrHelp (exit 0), anything else is a usage error (exit 2)
+// the flag package has already reported on fs.Output.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
 	}
+	return &usageError{msg: err.Error(), printed: true}
+}
+
+// cliMain maps run's error to the process exit code: 0 on success (and for
+// -h/-help), 2 on usage errors, 1 on everything else. Every subcommand
+// reports through this one path, so exit codes and stderr prefixes are
+// uniform across the CLI.
+func cliMain(args []string, out, errOut io.Writer) int {
+	err := run(args, out, errOut)
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		if !ue.printed {
+			fmt.Fprintln(errOut, "cactus:", err)
+		}
+		return 2
+	}
+	fmt.Fprintln(errOut, "cactus:", err)
+	return 1
 }
 
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("cactus", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	deviceName := fs.String("device", "rtx3080", "device model: rtx3080 or gtx1080")
 	clusters := fs.Int("clusters", 6, "cluster count for figure 9")
 	jobs := fs.Int("j", runtime.NumCPU(), "concurrent characterization workers")
@@ -123,12 +178,12 @@ func run(args []string, out, errOut io.Writer) error {
 	metricsFile := fs.String("metrics", "", "write a Prometheus text metrics snapshot to this file at exit")
 	logFormat := fs.String("log", "", "structured per-workload logging on stderr: text or json")
 	pprofAddr := fs.String("pprof", "", "serve pprof, /metrics, and /debug endpoints on this address")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (list, device, run, profile, export, trace, compare, explain, lint, audit, figure, table, bench, all)")
+		return usagef("missing command (list, device, run, profile, export, trace, compare, explain, lint, audit, figure, table, bench, serve, all)")
 	}
 
 	var cfg gpu.DeviceConfig
@@ -138,7 +193,7 @@ func run(args []string, out, errOut io.Writer) error {
 	case "gtx1080":
 		cfg = gpu.GTX1080()
 	default:
-		return fmt.Errorf("unknown device %q", *deviceName)
+		return usagef("unknown device %q (rtx3080 or gtx1080)", *deviceName)
 	}
 
 	counters := telemetry.NewCounters()
@@ -152,7 +207,7 @@ func run(args []string, out, errOut io.Writer) error {
 	case "json":
 		opts.Logger = slog.New(slog.NewJSONHandler(errOut, nil))
 	default:
-		return fmt.Errorf("unknown -log format %q (text or json)", *logFormat)
+		return usagef("unknown -log format %q (text or json)", *logFormat)
 	}
 	var rec *telemetry.Recorder
 	if *traceFile != "" {
@@ -232,11 +287,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 	out, errOut io.Writer) error {
 	switch rest[0] {
 	case "list":
-		tbl := report.NewTable("Workloads", "abbr", "suite", "domain", "name")
-		for _, w := range cat.All() {
-			tbl.AddRow(w.Abbr(), string(w.Suite()), string(w.Domain()), w.Name())
-		}
-		return tbl.Render(out)
+		return core.WriteWorkloadsTable(out, cat.All())
 
 	case "device":
 		st := &core.Study{Device: cfg}
@@ -244,7 +295,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 
 	case "run":
 		if len(rest) < 2 {
-			return fmt.Errorf("run: need at least one workload abbreviation")
+			return usagef("run: need at least one workload abbreviation")
 		}
 		var ws []workloads.Workload
 		for _, abbr := range rest[1:] {
@@ -269,7 +320,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 	case "export":
 		// The paper's future work: simulator-compatible kernel traces.
 		if len(rest) < 2 || len(rest) > 3 {
-			return fmt.Errorf("export: usage: export <abbr> [file]")
+			return usagef("export: usage: export <abbr> [file]")
 		}
 		w, err := cat.Lookup(rest[1])
 		if err != nil {
@@ -295,7 +346,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		// The Nsight-Systems analogue: one workload's launch timeline as
 		// Chrome trace-event JSON (chrome://tracing / Perfetto).
 		if len(rest) < 2 || len(rest) > 3 {
-			return fmt.Errorf("trace: usage: trace <abbr> [file]")
+			return usagef("trace: usage: trace <abbr> [file]")
 		}
 		w, err := cat.Lookup(rest[1])
 		if err != nil {
@@ -324,7 +375,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 
 	case "profile":
 		if len(rest) != 2 {
-			return fmt.Errorf("profile: need exactly one workload abbreviation")
+			return usagef("profile: need exactly one workload abbreviation")
 		}
 		w, err := cat.Lookup(rest[1])
 		if err != nil {
@@ -334,32 +385,15 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		if err != nil {
 			return err
 		}
-		tbl := report.NewTable(
-			fmt.Sprintf("%s — %s (%.3f ms GPU time)", w.Abbr(), w.Name(), p.TotalTime.Millis()),
-			"kernel", "share", "inv", "II", "GIPS", "occ", "SM eff", "L1", "L2", "mem stall")
-		for _, k := range p.Kernels {
-			m := k.Metrics
-			tbl.AddRow(k.Name,
-				fmt.Sprintf("%.1f%%", 100*k.TimeShare),
-				strconv.Itoa(k.Invocations),
-				fmt.Sprintf("%.2f", k.II()),
-				fmt.Sprintf("%.1f", k.GIPS()),
-				fmt.Sprintf("%.1f", m.Get(profiler.WarpOccupancy)),
-				fmt.Sprintf("%.2f", m.Get(profiler.SMEfficiency)),
-				fmt.Sprintf("%.2f", m.Get(profiler.L1HitRate)),
-				fmt.Sprintf("%.2f", m.Get(profiler.L2HitRate)),
-				fmt.Sprintf("%.2f", m.Get(profiler.StallMem)),
-			)
-		}
-		return tbl.Render(out)
+		return core.WriteProfileTable(out, p)
 
 	case "figure":
 		if len(rest) != 2 {
-			return fmt.Errorf("figure: need a figure number 1..9")
+			return usagef("figure: need a figure number 1..9")
 		}
 		n, err := strconv.Atoi(rest[1])
 		if err != nil || n < 1 || n > 9 {
-			return fmt.Errorf("figure: %q is not in 1..9", rest[1])
+			return usagef("figure: %q is not in 1..9", rest[1])
 		}
 		if n == 1 {
 			return core.Figure1(out)
@@ -391,7 +425,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 
 	case "table":
 		if len(rest) != 2 {
-			return fmt.Errorf("table: need a table number 1..4")
+			return usagef("table: need a table number 1..4")
 		}
 		switch rest[1] {
 		case "1":
@@ -408,13 +442,13 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		case "4":
 			return core.Table4(out)
 		}
-		return fmt.Errorf("table: %q is not in 1..4", rest[1])
+		return usagef("table: %q is not in 1..4", rest[1])
 
 	case "compare":
 		// Cross-device sensitivity (the paper's future work): characterize
 		// the given workloads on the RTX 3080 and GTX 1080 models.
 		if len(rest) < 2 {
-			return fmt.Errorf("compare: need at least one workload abbreviation")
+			return usagef("compare: need at least one workload abbreviation")
 		}
 		var ws []workloads.Workload
 		for _, abbr := range rest[1:] {
@@ -436,15 +470,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		if err != nil {
 			return err
 		}
-		tbl := report.NewTable("Cross-device comparison: RTX 3080 vs GTX 1080",
-			"workload", "3080 II", "3080 GIPS", "1080 II", "1080 GIPS", "speedup", "side stable")
-		for _, c := range cmps {
-			tbl.AddRow(c.Abbr,
-				fmt.Sprintf("%.2f", c.A.II), fmt.Sprintf("%.1f", c.A.GIPS),
-				fmt.Sprintf("%.2f", c.B.II), fmt.Sprintf("%.1f", c.B.GIPS),
-				fmt.Sprintf("%.2fx", c.Speedup), fmt.Sprintf("%v", c.SideStable))
-		}
-		return tbl.Render(out)
+		return core.WriteCompareTable(out, cmps)
 
 	case "lint":
 		ws := cat.All()
@@ -479,6 +505,9 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 
 	case "bench":
 		return benchCmd(rest, cfg, out, errOut)
+
+	case "serve":
+		return serveCmd(rest[1:], opts, errOut)
 
 	case "all":
 		st, err := core.NewStudyWith(cfg, opts, cat.All()...)
@@ -516,7 +545,7 @@ func dispatch(rest []string, cat *workloads.Catalog, cfg gpu.DeviceConfig,
 		return core.Figure9(st, out, clusters)
 
 	default:
-		return fmt.Errorf("unknown command %q", rest[0])
+		return usagef("unknown command %q", rest[0])
 	}
 }
 

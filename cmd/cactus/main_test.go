@@ -49,12 +49,90 @@ func TestUsageListsEveryCommand(t *testing.T) {
 		t.Fatal("expected a missing-command error")
 	}
 	for _, cmd := range []string{
-		"list", "device", "run", "profile", "export", "trace", "compare", "explain", "lint", "audit", "figure", "table", "bench", "all",
+		"list", "device", "run", "profile", "export", "trace", "compare", "explain", "lint", "audit", "figure", "table", "bench", "serve", "all",
 	} {
 		if !strings.Contains(err.Error(), cmd) {
 			t.Errorf("usage error %q omits command %q", err, cmd)
 		}
 	}
+}
+
+// TestExitCodes pins the CLI's exit-code convention across subcommands:
+// 0 for success and -h/-help, 2 for usage errors (unknown command or flag,
+// wrong arity, out-of-range argument), 1 for runtime failures.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"list"}, 0},
+		{"help flag", []string{"-h"}, 0},
+		{"serve help", []string{"serve", "-h"}, 0},
+		{"explain help", []string{"explain", "-h"}, 0},
+		{"bench check help", []string{"bench", "check", "-h"}, 0},
+		{"missing command", nil, 2},
+		{"unknown command", []string{"frobnicate"}, 2},
+		{"unknown flag", []string{"-frobnicate", "list"}, 2},
+		{"unknown device", []string{"-device", "voodoo3", "list"}, 2},
+		{"bad log format", []string{"-log", "xml", "list"}, 2},
+		{"figure out of range", []string{"figure", "12"}, 2},
+		{"figure not a number", []string{"figure", "one"}, 2},
+		{"table out of range", []string{"table", "9"}, 2},
+		{"run without workload", []string{"run"}, 2},
+		{"profile wrong arity", []string{"profile"}, 2},
+		{"export wrong arity", []string{"export"}, 2},
+		{"trace wrong arity", []string{"trace"}, 2},
+		{"compare without workload", []string{"compare"}, 2},
+		{"serve unexpected argument", []string{"serve", "bogus"}, 2},
+		{"serve unknown flag", []string{"serve", "-frobnicate"}, 2},
+		{"explain unknown flag", []string{"explain", "-frobnicate"}, 2},
+		{"unknown workload", []string{"profile", "XYZ"}, 1},
+		{"bench check missing baseline", []string{"bench", "check", "-baseline", "/nonexistent.json", "-current", "/nonexistent.json"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args, io.Discard, io.Discard); got != tc.want {
+				t.Errorf("cliMain(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestErrorOutputOnStderr — every failure path reports on stderr exactly
+// once: prefixed errors are not duplicated, flag-parse errors are left to
+// the flag package's own report, and stdout stays clean.
+func TestErrorOutputOnStderr(t *testing.T) {
+	t.Run("usage error prefixed once", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if got := cliMain([]string{"frobnicate"}, &out, &errOut); got != 2 {
+			t.Fatalf("exit = %d, want 2", got)
+		}
+		if want := "cactus: unknown command \"frobnicate\"\n"; errOut.String() != want {
+			t.Errorf("stderr = %q, want %q", errOut.String(), want)
+		}
+		if out.Len() != 0 {
+			t.Errorf("stdout = %q, want empty", out.String())
+		}
+	})
+	t.Run("flag error not duplicated", func(t *testing.T) {
+		var errOut strings.Builder
+		if got := cliMain([]string{"-frobnicate"}, io.Discard, &errOut); got != 2 {
+			t.Fatalf("exit = %d, want 2", got)
+		}
+		if n := strings.Count(errOut.String(), "flag provided but not defined"); n != 1 {
+			t.Errorf("flag error reported %d times, want once:\n%s", n, errOut.String())
+		}
+	})
+	t.Run("help usage on requested stream", func(t *testing.T) {
+		var errOut strings.Builder
+		if got := cliMain([]string{"-h"}, io.Discard, &errOut); got != 0 {
+			t.Fatalf("exit = %d, want 0", got)
+		}
+		if !strings.Contains(errOut.String(), "-device") {
+			t.Errorf("-h output missing flag docs:\n%s", errOut.String())
+		}
+	})
 }
 
 // TestAuditCommand replays a small workload subset through the metric

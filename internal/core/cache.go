@@ -80,13 +80,24 @@ type cachedProfile struct {
 	Kernels        []cachedKernel `json:"kernels"`
 }
 
+// Fingerprint returns the profile-cache fingerprint of a device
+// configuration: a short hex digest over every model parameter plus the
+// cache schema version. Two configurations share a fingerprint only if
+// they would produce interchangeable profiles, so the fingerprint is the
+// device half of every profile key — the on-disk cache entry name, the
+// server's in-memory LRU key, and singleflight deduplication all derive
+// from it.
+func Fingerprint(cfg gpu.DeviceConfig) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|%+v", CacheSchemaVersion, cfg)))
+	return hex.EncodeToString(sum[:8])
+}
+
 // path returns the entry file for (abbr, cfg). The whole device
 // configuration is fingerprinted, not just its name, so tweaking any model
 // parameter invalidates the entry.
 func (c *ProfileCache) path(abbr string, cfg gpu.DeviceConfig) string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|%+v", CacheSchemaVersion, cfg)))
 	name := fmt.Sprintf("%s-%s-v%d.json",
-		sanitizeKey(abbr), hex.EncodeToString(sum[:8]), CacheSchemaVersion)
+		sanitizeKey(abbr), Fingerprint(cfg), CacheSchemaVersion)
 	return filepath.Join(c.dir, name)
 }
 

@@ -8,11 +8,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/gpu"
@@ -138,6 +137,14 @@ func characterize(w workloads.Workload, cfg gpu.DeviceConfig, tr telemetry.Trace
 		return nil, err
 	}
 	dev.SetTelemetry(tr, ctr)
+	return characterizeOn(dev, w, tr, lane)
+}
+
+// characterizeOn runs one workload on an existing device — fresh or pooled
+// — through a fresh profiling session. Devices are safe for concurrent
+// launches, so a pooled device may characterize many workloads at once;
+// only the session (which accumulates this run's launches) is per-call.
+func characterizeOn(dev *gpu.Device, w workloads.Workload, tr telemetry.Tracer, lane int) (*Profile, error) {
 	sess := profiler.NewSessionWith(dev, profiler.SessionOptions{
 		Tracer: tr, Label: w.Abbr(), Lane: lane,
 	})
@@ -255,79 +262,21 @@ func NewStudy(cfg gpu.DeviceConfig, ws ...workloads.Workload) (*Study, error) {
 // NewStudyWith characterizes all the given workloads on cfg according to
 // opts. On error the first failure observed is returned and the partial
 // study is discarded.
+//
+// NewStudyWith is a convenience wrapper over the reusable study engine: it
+// builds an ephemeral Engine from opts, runs one study, and shuts the
+// engine down. Long-running callers (the HTTP server) construct one Engine
+// and share it across requests instead.
 func NewStudyWith(cfg gpu.DeviceConfig, opts StudyOptions, ws ...workloads.Workload) (*Study, error) {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(ws) {
-		workers = len(ws)
-	}
-	profiles := make([]*Profile, len(ws))
-	if workers <= 1 {
-		for i, w := range ws {
-			p, err := characterizeCached(w, cfg, opts, i, 0)
-			if err != nil {
-				return nil, err
-			}
-			profiles[i] = p
-		}
-	} else if err := characterizeAll(profiles, ws, cfg, opts, workers); err != nil {
-		return nil, err
-	}
-	st := &Study{Device: cfg, byAbbr: make(map[string]*Profile, len(ws))}
-	for _, p := range profiles {
-		st.Profiles = append(st.Profiles, p)
-		st.byAbbr[p.Abbr()] = p
-	}
-	return st, nil
-}
-
-// characterizeAll fans the workloads out over a fixed worker pool, writing
-// each profile into its workload's slot so order is preserved. The first
-// error stops the feed; in-flight characterizations drain before return.
-// Each worker owns one host-track telemetry lane; its per-task spans are
-// the pool's lifecycle record, and CtrWorkersBusy gauges its occupancy.
-func characterizeAll(profiles []*Profile, ws []workloads.Workload, cfg gpu.DeviceConfig, opts StudyOptions, workers int) error {
-	var (
-		wg       sync.WaitGroup
-		once     sync.Once
-		firstErr error
-	)
-	tr := telemetry.Or(opts.Tracer)
-	idx := make(chan int)
-	fail := make(chan struct{})
-	for n := 0; n < workers; n++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			if tr.Enabled() {
-				tr.Emit(telemetry.ThreadName(telemetry.TrackHost, worker,
-					fmt.Sprintf("worker %d", worker)))
-			}
-			for i := range idx {
-				opts.Counters.Add(telemetry.CtrWorkersBusy, 1)
-				p, err := characterizeCached(ws[i], cfg, opts, i, worker)
-				opts.Counters.Add(telemetry.CtrWorkersBusy, -1)
-				if err != nil {
-					once.Do(func() { firstErr = err; close(fail) })
-					continue
-				}
-				profiles[i] = p
-			}
-		}(n)
-	}
-feed:
-	for i := range ws {
-		select {
-		case idx <- i:
-		case <-fail:
-			break feed
-		}
-	}
-	close(idx)
-	wg.Wait()
-	return firstErr
+	e := NewEngine(EngineOptions{
+		Workers:  opts.Workers,
+		Cache:    opts.Cache,
+		Counters: opts.Counters,
+		Metrics:  opts.Metrics,
+		Logger:   opts.Logger,
+	})
+	defer func() { _ = e.Shutdown(context.Background()) }()
+	return e.StudyWith(context.Background(), cfg, opts, ws...)
 }
 
 // characterizeCached is one workload's characterization behind the optional
@@ -336,8 +285,10 @@ feed:
 // a host-track span on the worker's lane, and the workload's modeled vs
 // wall time land in per-workload counters. `lane` is the workload's
 // modeled-track lane (its index in the study); `worker` is the host-track
-// lane of the goroutine doing the work.
-func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOptions, lane, worker int) (*Profile, error) {
+// lane of the goroutine doing the work. When dev is non-nil the simulation
+// runs on that (pooled) device instead of building a fresh one — the
+// engine's device reuse path; telemetry must already be attached to it.
+func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOptions, lane, worker int, dev *gpu.Device) (*Profile, error) {
 	tr := telemetry.Or(opts.Tracer)
 	//lint:ignore nodeterminism wall time is telemetry about the pipeline, not model output
 	wallStart := time.Now()
@@ -370,7 +321,11 @@ func characterizeCached(w workloads.Workload, cfg gpu.DeviceConfig, opts StudyOp
 	var storeErr error
 	if p == nil {
 		var err error
-		p, err = characterize(w, cfg, tr, opts.Counters, lane)
+		if dev != nil {
+			p, err = characterizeOn(dev, w, tr, lane)
+		} else {
+			p, err = characterize(w, cfg, tr, opts.Counters, lane)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,63 @@
+// Shared text renderers. The CLI and the HTTP server must answer the same
+// question with byte-identical output — the load test diffs server
+// responses against cold CLI runs — so the table renderings both surfaces
+// use live here, next to the figures, instead of being rebuilt inline by
+// each frontend.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/profiler"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// WriteWorkloadsTable renders the workload catalog listing (`cactus list`,
+// GET /api/v1/workloads?format=text).
+func WriteWorkloadsTable(w io.Writer, ws []workloads.Workload) error {
+	tbl := report.NewTable("Workloads", "abbr", "suite", "domain", "name")
+	for _, wl := range ws {
+		tbl.AddRow(wl.Abbr(), string(wl.Suite()), string(wl.Domain()), wl.Name())
+	}
+	return tbl.Render(w)
+}
+
+// WriteProfileTable renders one workload's per-kernel characterization
+// table (`cactus profile`, GET /api/v1/profile?format=text).
+func WriteProfileTable(w io.Writer, p *Profile) error {
+	tbl := report.NewTable(
+		fmt.Sprintf("%s — %s (%.3f ms GPU time)", p.Abbr(), p.Workload.Name(), p.TotalTime.Millis()),
+		"kernel", "share", "inv", "II", "GIPS", "occ", "SM eff", "L1", "L2", "mem stall")
+	for _, k := range p.Kernels {
+		m := k.Metrics
+		tbl.AddRow(k.Name,
+			fmt.Sprintf("%.1f%%", 100*k.TimeShare),
+			strconv.Itoa(k.Invocations),
+			fmt.Sprintf("%.2f", k.II()),
+			fmt.Sprintf("%.1f", k.GIPS()),
+			fmt.Sprintf("%.1f", m.Get(profiler.WarpOccupancy)),
+			fmt.Sprintf("%.2f", m.Get(profiler.SMEfficiency)),
+			fmt.Sprintf("%.2f", m.Get(profiler.L1HitRate)),
+			fmt.Sprintf("%.2f", m.Get(profiler.L2HitRate)),
+			fmt.Sprintf("%.2f", m.Get(profiler.StallMem)),
+		)
+	}
+	return tbl.Render(w)
+}
+
+// WriteCompareTable renders the cross-device comparison table (`cactus
+// compare`, GET /api/v1/compare?format=text).
+func WriteCompareTable(w io.Writer, cmps []DeviceComparison) error {
+	tbl := report.NewTable("Cross-device comparison: RTX 3080 vs GTX 1080",
+		"workload", "3080 II", "3080 GIPS", "1080 II", "1080 GIPS", "speedup", "side stable")
+	for _, c := range cmps {
+		tbl.AddRow(c.Abbr,
+			fmt.Sprintf("%.2f", c.A.II), fmt.Sprintf("%.1f", c.A.GIPS),
+			fmt.Sprintf("%.2f", c.B.II), fmt.Sprintf("%.1f", c.B.GIPS),
+			fmt.Sprintf("%.2fx", c.Speedup), fmt.Sprintf("%v", c.SideStable))
+	}
+	return tbl.Render(w)
+}

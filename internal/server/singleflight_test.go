@@ -1,0 +1,95 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFlightCollapsesConcurrentCallers — with the computation blocked, any
+// number of callers of one key produce exactly one leader and one fn run;
+// every caller gets the same result pointer.
+func TestFlightCollapsesConcurrentCallers(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	var runs atomic.Int64
+	want := &core.Profile{}
+	fn := func() (*core.Profile, error) {
+		runs.Add(1)
+		<-release
+		return want, nil
+	}
+
+	const callers = 50
+	var leaders atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]*core.Profile, callers)
+	started := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, leader := g.do("key", fn)
+			if leader {
+				leaders.Add(1)
+			}
+			started <- struct{}{}
+			<-c.done
+			results[i] = c.p
+		}(i)
+	}
+	for i := 0; i < callers; i++ {
+		<-started // every caller has joined the flight before release
+	}
+	close(release)
+	wg.Wait()
+
+	if got := leaders.Load(); got != 1 {
+		t.Errorf("leaders = %d, want exactly 1", got)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want exactly 1", got)
+	}
+	for i, p := range results {
+		if p != want {
+			t.Fatalf("caller %d got %p, want the shared result %p", i, p, want)
+		}
+	}
+}
+
+// TestFlightKeyRetiresAfterCompletion — once a call completes, the key is
+// free again and a new caller leads a fresh computation.
+func TestFlightKeyRetiresAfterCompletion(t *testing.T) {
+	g := newFlightGroup()
+	run := func() *flightCall {
+		c, leader := g.do("key", func() (*core.Profile, error) { return &core.Profile{}, nil })
+		if !leader {
+			t.Fatal("expected to lead an idle key")
+		}
+		<-c.done
+		return c
+	}
+	if run().p == run().p {
+		t.Error("two sequential flights shared one result; the key never retired")
+	}
+}
+
+// TestFlightIndependentKeys — distinct keys never share a call.
+func TestFlightIndependentKeys(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	blocked := func() (*core.Profile, error) { <-release; return nil, nil }
+	ca, leadA := g.do("a", blocked)
+	cb, leadB := g.do("b", blocked)
+	if !leadA || !leadB {
+		t.Error("both distinct keys must lead")
+	}
+	if ca == cb {
+		t.Error("distinct keys shared a flightCall")
+	}
+	close(release)
+	<-ca.done
+	<-cb.done
+}

@@ -34,6 +34,40 @@ const (
 	CtrWorkersBusy = "study.workers_busy"
 	// CtrWorkloads counts workloads characterized (cache hits included).
 	CtrWorkloads = "study.workloads_characterized"
+
+	// Serve-layer counters: the characterization server's request funnel.
+	// Requests either hit the in-memory LRU, join an in-flight singleflight
+	// study, or lead one; the funnel invariant the load test pins is
+	// leaders + shared == lru_misses, with mismatches and corruption at 0.
+
+	// CtrServeRequests counts HTTP requests accepted by the API handlers
+	// (rejected ones are counted under their rejection counter instead).
+	CtrServeRequests = "serve.requests"
+	// CtrServeRejectedQueue counts requests rejected with 429 because the
+	// bounded work queue was full.
+	CtrServeRejectedQueue = "serve.rejected_queue_full"
+	// CtrServeRejectedShutdown counts requests rejected with 503 during
+	// shutdown drain.
+	CtrServeRejectedShutdown = "serve.rejected_shutdown"
+	// CtrServeDeadlineExceeded counts requests that hit their per-request
+	// deadline (504); the underlying study keeps running and lands in the
+	// LRU for the next asker.
+	CtrServeDeadlineExceeded = "serve.deadline_exceeded"
+	// CtrServeLRUHits counts profile lookups served from the in-memory LRU.
+	CtrServeLRUHits = "serve.lru_hits"
+	// CtrServeLRUMisses counts lookups that fell through to singleflight.
+	CtrServeLRUMisses = "serve.lru_misses"
+	// CtrServeLRUEvictions counts LRU entries evicted to make room.
+	CtrServeLRUEvictions = "serve.lru_evictions"
+	// CtrServeLRUMismatches counts LRU entries whose recorded workload or
+	// device fingerprint disagreed with the key that found them — cache
+	// corruption that must never happen (the load test asserts zero).
+	CtrServeLRUMismatches = "serve.lru_mismatches"
+	// CtrServeFlightLeaders counts singleflight calls that ran the study.
+	CtrServeFlightLeaders = "serve.singleflight_leaders"
+	// CtrServeFlightShared counts singleflight calls that joined a study
+	// another request already had in flight — the deduplication win.
+	CtrServeFlightShared = "serve.singleflight_shared"
 )
 
 // WorkloadModeledNs returns the counter name holding a workload's modeled

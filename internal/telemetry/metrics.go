@@ -61,6 +61,13 @@ var (
 		Help:    "L2 cache hit rate per kernel profile",
 		Buckets: []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99},
 	}
+	// HistServeRequestSeconds distributes end-to-end request latency in the
+	// characterization server, LRU hits and cold studies alike.
+	HistServeRequestSeconds = HistogramSpec{
+		Name:    "serve.request_seconds",
+		Help:    "end-to-end latency per served API request",
+		Buckets: []float64{1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30},
+	}
 )
 
 // Histogram is one concurrency-safe fixed-bucket histogram. A nil
