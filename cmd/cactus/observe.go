@@ -30,32 +30,41 @@ var (
 //	/debug/attribution  the latest study's attribution tree as JSON
 //	                    (or ?format=text for the aligned rendering)
 //
-// Handler write errors are dropped deliberately: the client hung up, and
-// there is no one left to report to.
+// A handler write error means the scraper hung up mid-response; it cannot
+// be retried, so it is counted under serve.write_errors in the live
+// registry (the next successful scrape reports it).
 func registerObservability() {
 	obsOnce.Do(func() {
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = liveRegistry.Load().WritePrometheus(w)
+			countObsWriteError(liveRegistry.Load().WritePrometheus(w))
 		})
 		http.HandleFunc("/debug/counters", func(w http.ResponseWriter, req *http.Request) {
 			if req.URL.Query().Get("format") == "json" {
 				w.Header().Set("Content-Type", "application/json")
-				_ = liveRegistry.Load().WriteJSON(w)
+				countObsWriteError(liveRegistry.Load().WriteJSON(w))
 				return
 			}
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			_ = liveRegistry.Load().WriteText(w)
+			countObsWriteError(liveRegistry.Load().WriteText(w))
 		})
 		http.HandleFunc("/debug/attribution", func(w http.ResponseWriter, req *http.Request) {
 			root := liveAttribution.Load()
 			if req.URL.Query().Get("format") == "text" {
 				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-				_ = telemetry.WriteAttributionText(w, root, 0)
+				countObsWriteError(telemetry.WriteAttributionText(w, root, 0))
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")
-			_ = telemetry.WriteAttributionJSON(w, root)
+			countObsWriteError(telemetry.WriteAttributionJSON(w, root))
 		})
 	})
+}
+
+// countObsWriteError records a failed observability-handler write in the
+// live registry's counters (nil-safe on both sides).
+func countObsWriteError(err error) {
+	if err != nil {
+		liveRegistry.Load().Counters().Add(telemetry.CtrServeWriteErrors, 1)
+	}
 }

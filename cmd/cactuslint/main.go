@@ -17,13 +17,20 @@
 // Flags:
 //
 //	-analyzers a,b   run only the named analyzers (default: all)
-//	-json            print findings as JSON objects, one per line
+//	-json            print findings (or suppressions) as JSON, one per line
 //	-list            print the analyzers and exit
+//	-suppressions    list every //lint:ignore directive instead of linting
 //
 // With -json each finding is one object per line, for tooling (the GitHub
 // Actions problem matcher in .github/cactuslint-matcher.json consumes it):
 //
 //	{"file":"internal/gpu/launch.go","line":42,"analyzer":"unitsafety","message":"..."}
+//
+// -suppressions inventories the accepted exceptions: every //lint:ignore
+// in the analyzed packages, as deterministic `file:line: analyzer: reason`
+// lines (or JSON objects with -json). The suppression budget test in
+// internal/lint pins the total, so adding an exception is a reviewed,
+// counted act.
 package main
 
 import (
@@ -54,8 +61,9 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 	fs := flag.NewFlagSet("cactuslint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	names := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
-	asJSON := fs.Bool("json", false, "print findings as JSON objects, one per line")
+	asJSON := fs.Bool("json", false, "print findings (or suppressions) as JSON, one per line")
 	list := fs.Bool("list", false, "print the analyzers and exit")
+	suppressions := fs.Bool("suppressions", false, "list every //lint:ignore directive instead of linting")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -92,15 +100,13 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 		return 2, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
 	}
 
-	findings := lint.Run(pkgs, analyzers)
 	wd, _ := os.Getwd()
+	if *suppressions {
+		return listSuppressions(out, pkgs, wd, *asJSON)
+	}
+	findings := lint.Run(pkgs, analyzers)
 	for _, f := range findings {
-		pos := f.Pos.Filename
-		if wd != "" {
-			if rel, err := filepath.Rel(wd, pos); err == nil && !strings.HasPrefix(rel, "..") {
-				pos = rel
-			}
-		}
+		pos := relTo(wd, f.Pos.Filename)
 		if *asJSON {
 			if err := printJSON(out, pos, f); err != nil {
 				return 2, err
@@ -114,6 +120,45 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// listSuppressions prints the //lint:ignore inventory of pkgs, sorted by
+// file, line, then analyzer. Exit code 0: an inventory is not a failure —
+// the pinned-count test is what turns growth into one.
+func listSuppressions(out io.Writer, pkgs []*lint.Package, wd string, asJSON bool) (int, error) {
+	for _, s := range lint.CollectSuppressions(pkgs) {
+		file := relTo(wd, s.Pos.Filename)
+		if asJSON {
+			data, err := json.Marshal(jsonSuppression{
+				File: file, Line: s.Pos.Line, Analyzer: s.Analyzer, Reason: s.Reason,
+			})
+			if err != nil {
+				return 2, err
+			}
+			fmt.Fprintf(out, "%s\n", data)
+			continue
+		}
+		fmt.Fprintf(out, "%s:%d: %s: %s\n", file, s.Pos.Line, s.Analyzer, s.Reason)
+	}
+	return 0, nil
+}
+
+// relTo makes path relative to wd when it is inside it.
+func relTo(wd, path string) string {
+	if wd != "" {
+		if rel, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+	}
+	return path
+}
+
+// jsonSuppression is the -suppressions -json wire shape.
+type jsonSuppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
 }
 
 // jsonFinding is the -json wire shape: one object per line, stable field

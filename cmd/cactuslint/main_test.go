@@ -14,7 +14,8 @@ func TestListFlagNamesEveryAnalyzer(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("run(-list) = %d, %v", code, err)
 	}
-	for _, name := range []string{"nodeterminism", "finiteflow", "launchpath", "errcheckstrict", "unitsafety"} {
+	for _, name := range []string{"nodeterminism", "finiteflow", "launchpath", "errcheckstrict",
+		"unitsafety", "mutexguard", "ctxflow", "atomicsafe"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output omits %q:\n%s", name, out.String())
 		}
@@ -54,5 +55,40 @@ func TestJSONCleanPackage(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("clean package produced output:\n%s", out.String())
+	}
+}
+
+// TestSuppressionsMode pins the -suppressions inventory over a package with
+// known directives: deterministic file:line: analyzer: reason lines, exit
+// code 0, and the JSON variant's wire shape.
+func TestSuppressionsMode(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-suppressions", "repro/internal/server"}, &out, io.Discard)
+	if err != nil || code != 0 {
+		t.Fatalf("run = %d, %v\n%s", code, err, out.String())
+	}
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("internal/server has 3 suppressions, -suppressions listed %d:\n%s", len(lines), out.String())
+	}
+	for _, want := range []string{"nodeterminism: request latency", "ctxflow: the singleflight leader"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-suppressions output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(lines[0], "internal/server/handlers.go:") {
+		t.Errorf("suppressions not in file order:\n%s", out.String())
+	}
+
+	var jsonOut strings.Builder
+	code, err = run([]string{"-suppressions", "-json", "repro/internal/server"}, &jsonOut, io.Discard)
+	if err != nil || code != 0 {
+		t.Fatalf("run(-json) = %d, %v", code, err)
+	}
+	first := strings.SplitN(jsonOut.String(), "\n", 2)[0]
+	for _, field := range []string{`"file":`, `"line":`, `"analyzer":`, `"reason":`} {
+		if !strings.Contains(first, field) {
+			t.Errorf("-suppressions -json line missing %s: %s", field, first)
+		}
 	}
 }

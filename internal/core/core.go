@@ -275,7 +275,9 @@ func NewStudyWith(cfg gpu.DeviceConfig, opts StudyOptions, ws ...workloads.Workl
 		Metrics:  opts.Metrics,
 		Logger:   opts.Logger,
 	})
+	//lint:ignore ctxflow one-shot CLI entry point with no inbound context; the deferred shutdown must run even after a study error
 	defer func() { _ = e.Shutdown(context.Background()) }()
+	//lint:ignore ctxflow one-shot CLI entry point with no inbound context; cancellation belongs to the process signal handler
 	return e.StudyWith(context.Background(), cfg, opts, ws...)
 }
 

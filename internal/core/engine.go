@@ -55,8 +55,8 @@ type Engine struct {
 	slots chan struct{}
 
 	mu      sync.Mutex
-	devices map[string]*gpu.Device // pooled simulators by Fingerprint(cfg)
-	closed  bool
+	devices map[string]*gpu.Device // guarded by mu; pooled simulators by Fingerprint(cfg)
+	closed  bool                   // guarded by mu
 
 	wg sync.WaitGroup // in-flight Study/Characterize calls (drained by Shutdown)
 }

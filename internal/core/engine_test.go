@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/gpu"
+	"repro/internal/testutil"
 	"repro/internal/workloads"
 )
 
@@ -27,6 +28,7 @@ func engineWorkload(t *testing.T, abbr string) workloads.Workload {
 // TestEngineLifecycle — construct, use, drain: after Shutdown every entry
 // point fails with ErrEngineClosed, and Shutdown stays idempotent.
 func TestEngineLifecycle(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	e := NewEngine(EngineOptions{Workers: 2})
 	w := engineWorkload(t, "pb-sgemm")
 	cfg := gpu.RTX3080()
@@ -100,6 +102,7 @@ func TestEngineContextCancellation(t *testing.T) {
 // global slot pool, must each produce output byte-identical to the
 // one-shot serial pipeline.
 func TestEngineConcurrentStudiesDeterministic(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	ws := []workloads.Workload{
 		engineWorkload(t, "pb-sgemm"),
 		engineWorkload(t, "pb-spmv"),
@@ -174,6 +177,7 @@ func TestEngineConcurrentStudiesDeterministic(t *testing.T) {
 // TestEngineShutdownDrains — Shutdown must wait for in-flight work: every
 // characterization started before Shutdown completes successfully.
 func TestEngineShutdownDrains(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	e := NewEngine(EngineOptions{Workers: 2})
 	w := engineWorkload(t, "pb-sgemm")
 	const calls = 8

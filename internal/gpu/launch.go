@@ -87,8 +87,8 @@ type Device struct {
 	// model entirely — the spec-extraction mode behind `cactus lint`.
 	audit bool
 
-	mu    sync.Mutex // guards specs (audit mode only)
-	specs []KernelSpec
+	mu    sync.Mutex
+	specs []KernelSpec // guarded by mu (audit mode only)
 }
 
 // New builds a device from cfg.

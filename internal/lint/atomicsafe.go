@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicSafe forbids mixed atomic and plain access to one memory location.
+// A variable or field that is ever passed by address to a sync/atomic
+// function (atomic.AddInt64(&x, 1), atomic.LoadUint32(&f.n), ...) is an
+// atomic location: every other read or write of it must also go through
+// sync/atomic, because a plain access racing an atomic one is undefined
+// behavior the race detector only catches on exercised schedules. The
+// typed atomics (atomic.Int64, atomic.Pointer[T]) are immune by
+// construction — their value is only reachable through methods — which is
+// why this repo prefers them; this analyzer keeps the raw escape hatch
+// honest wherever it appears.
+//
+// The check is package-local and flow-insensitive: initialization before
+// the value is shared (a constructor writing the zero value) is the one
+// common safe plain access, and it takes a reasoned //lint:ignore.
+var AtomicSafe = &Analyzer{
+	Name: "atomicsafe",
+	Doc: "forbid plain reads/writes of variables that are accessed via " +
+		"sync/atomic elsewhere",
+	Run: runAtomicSafe,
+}
+
+// atomicCallArg returns the expression whose address is taken by a
+// sync/atomic call argument (&x in atomic.AddInt64(&x, 1)), or nil.
+func atomicCallArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	var out []ast.Expr
+	for _, arg := range call.Args {
+		if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+			out = append(out, ast.Unparen(un.X))
+		}
+	}
+	return out
+}
+
+// exprObject resolves the variable or field an lvalue expression denotes:
+// the object of a plain identifier or of the final selector of a field
+// chain. Index expressions and dereferences resolve to nothing (their
+// aliasing is beyond a package-local check).
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func runAtomicSafe(p *Pass) {
+	// Pass 1: find every atomic location and remember one atomic-use
+	// position per object for the message.
+	atomicAt := make(map[types.Object]token.Position)
+	// sanctioned tracks the expression nodes that ARE the atomic accesses,
+	// so pass 2 can skip them.
+	sanctioned := make(map[ast.Expr]bool)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range atomicCallArgs(p.Info, call) {
+				sanctioned[arg] = true
+				if obj := exprObject(p.Info, arg); obj != nil {
+					if _, seen := atomicAt[obj]; !seen {
+						atomicAt[obj] = p.Fset.Position(arg.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+	// Pass 2: any other mention of an atomic location is a plain access.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if sanctioned[e] {
+				return false // the atomic access itself (and its subtree)
+			}
+			var obj types.Object
+			switch e := e.(type) {
+			case *ast.Ident:
+				obj = p.Info.Uses[e]
+			case *ast.SelectorExpr:
+				obj = p.Info.Uses[e.Sel]
+				if obj != nil && atomicAt[obj] != (token.Position{}) {
+					// Report on the selector, then stop: the base expression
+					// is not itself the atomic location.
+					reportPlainAccess(p, e.Sel.Pos(), obj, atomicAt[obj])
+					return false
+				}
+				return true
+			default:
+				return true
+			}
+			if obj != nil {
+				if at, ok := atomicAt[obj]; ok {
+					reportPlainAccess(p, e.Pos(), obj, at)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportPlainAccess(p *Pass, pos token.Pos, obj types.Object, at token.Position) {
+	p.Reportf(pos,
+		"%s is accessed with sync/atomic at %s:%d; this plain access races it — use sync/atomic here too (or suppress an init-before-share write with a reason)",
+		obj.Name(), at.Filename, at.Line)
+}

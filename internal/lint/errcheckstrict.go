@@ -12,10 +12,17 @@ import (
 // Encode, report Render/Export, and Write* sink methods. An explicit
 // `_ = f.Close()` is an acknowledged drop and is not flagged; writers that
 // cannot fail (strings.Builder, bytes.Buffer) are exempt.
+//
+// On http.ResponseWriter paths the blank-assign escape hatch is closed:
+// `_, _ = w.Write(body)` (or a blank-assigned encoder/flusher call whose
+// argument chain mentions a ResponseWriter) discards the one signal that a
+// client never received its response. A serving process must count those —
+// a spike in failed response writes is an operational symptom, not noise —
+// so the drop is flagged even when explicit.
 var ErrCheckStrict = &Analyzer{
 	Name: "errcheckstrict",
 	Doc: "forbid silently dropped errors on closers, flushes, cache " +
-		"stores, and sink writes",
+		"stores, and sink writes (including blank-assigned ResponseWriter writes)",
 	Run: runErrCheckStrict,
 }
 
@@ -48,11 +55,60 @@ func neverFailingRecv(sig *types.Signature) bool {
 	return full == "strings.Builder" || full == "bytes.Buffer"
 }
 
+// isResponseWriter reports whether t is the net/http.ResponseWriter
+// interface.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "ResponseWriter"
+}
+
+// mentionsResponseWriter reports whether any expression inside the call
+// (receiver chain included) is typed http.ResponseWriter — w.Write(b),
+// json.NewEncoder(w).Encode(v), s.reg.WritePrometheus(w).
+func mentionsResponseWriter(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if t := info.TypeOf(e); t != nil && isResponseWriter(t) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// blankAssignedCall returns the call whose results stmt drops entirely into
+// blank identifiers (`_ = c()`, `_, _ = c()`), or nil.
+func blankAssignedCall(as *ast.AssignStmt) *ast.CallExpr {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return nil
+		}
+	}
+	return call
+}
+
 func runErrCheckStrict(p *Pass) {
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			var call *ast.CallExpr
-			var deferred bool
+			var deferred, blankRW bool
 			switch n := n.(type) {
 			case *ast.ExprStmt:
 				call, _ = n.X.(*ast.CallExpr)
@@ -60,6 +116,13 @@ func runErrCheckStrict(p *Pass) {
 				call, deferred = n.Call, true
 			case *ast.GoStmt:
 				call = n.Call
+			case *ast.AssignStmt:
+				// Blank assignment is the sanctioned acknowledgment —
+				// except on ResponseWriter paths, where the failed write
+				// must be counted.
+				if c := blankAssignedCall(n); c != nil && mentionsResponseWriter(p.Info, c) {
+					call, blankRW = c, true
+				}
 			}
 			if call == nil {
 				return true
@@ -77,9 +140,12 @@ func runErrCheckStrict(p *Pass) {
 				return true
 			}
 			what := recvString(fn) + "." + fn.Name()
-			if deferred {
+			switch {
+			case deferred:
 				p.Reportf(call.Pos(), "deferred %s drops its error; close in a named helper or wrap: defer func() { _ = x.%s() }() with a reason", what, fn.Name())
-			} else {
+			case blankRW:
+				p.Reportf(call.Pos(), "%s's error result is blank-assigned on a ResponseWriter path; a failed response write is an operational signal — count it", what)
+			default:
 				p.Reportf(call.Pos(), "%s's error result is silently dropped; handle it or assign to _ explicitly", what)
 			}
 			return true

@@ -79,7 +79,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns every cactuslint analyzer in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoDeterminism, FiniteFlow, LaunchPath, ErrCheckStrict, UnitSafety}
+	return []*Analyzer{
+		NoDeterminism, FiniteFlow, LaunchPath, ErrCheckStrict, UnitSafety,
+		MutexGuard, CtxFlow, AtomicSafe,
+	}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -163,6 +166,7 @@ const ignorePrefix = "lint:ignore"
 // directive is one parsed //lint:ignore comment.
 type directive struct {
 	analyzer string
+	reason   string
 }
 
 // suppressions collects the //lint:ignore directives of a package, indexed
@@ -190,11 +194,58 @@ func suppressions(pkg *Package) (map[string]map[int][]directive, []Finding) {
 					sup[pos.Filename] = make(map[int][]directive)
 				}
 				sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line],
-					directive{analyzer: fields[0]})
+					directive{analyzer: fields[0], reason: strings.Join(fields[1:], " ")})
 			}
 		}
 	}
 	return sup, malformed
+}
+
+// Suppression is one well-formed //lint:ignore directive, for the
+// cactuslint -suppressions inventory.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// String renders the suppression as "file:line: analyzer: reason".
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", s.Pos.Filename, s.Pos.Line, s.Analyzer, s.Reason)
+}
+
+// CollectSuppressions inventories every well-formed //lint:ignore directive
+// of the packages, sorted by file, line, and analyzer. Malformed directives
+// are excluded — Run already reports those as findings. The list is the
+// input to the suppression budget: CI pins its length so the escape hatch
+// cannot widen silently.
+func CollectSuppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		sup, _ := suppressions(pkg)
+		for file, lines := range sup {
+			for line, ds := range lines {
+				for _, d := range ds {
+					out = append(out, Suppression{
+						Pos:      token.Position{Filename: file, Line: line},
+						Analyzer: d.analyzer,
+						Reason:   d.reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
 }
 
 // suppressed reports whether a directive on the finding's line or the line

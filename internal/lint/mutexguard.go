@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MutexGuard enforces the repository's lock-annotation convention. A struct
+// field whose doc or line comment contains
+//
+//	guarded by <mu>
+//
+// names the sibling sync.Mutex/sync.RWMutex field that protects it. Every
+// access to an annotated field must then happen inside a function that
+// visibly acquires that mutex on the same receiver expression
+// (base.mu.Lock() or base.mu.RLock() anywhere in the body), or inside a
+// helper whose name ends in "locked"/"Locked" — the convention for "caller
+// holds the lock". An annotation naming a missing or non-mutex sibling is
+// itself a finding, so the convention cannot rot.
+//
+// The check is flow-insensitive by design: it asks "does this function ever
+// acquire the right lock", not "is the lock held at this statement". That
+// misses an access after an early Unlock but never fires on correct code,
+// which is the right trade for a repo-clean-at-HEAD gate; the -race load
+// tests remain the schedule-sensitive backstop.
+var MutexGuard = &Analyzer{
+	Name: "mutexguard",
+	Doc: "require accesses to `guarded by <mu>`-annotated struct fields to " +
+		"happen under the named mutex or in a *locked helper",
+	Run: runMutexGuard,
+}
+
+// guardedRe extracts the mutex name from a "guarded by <mu>" annotation.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardInfo is one annotated field: the struct it belongs to and the
+// sibling mutex field that protects it.
+type guardInfo struct {
+	structName string
+	mutexName  string
+}
+
+// lockedHelper reports the naming convention for "caller holds the lock".
+// Names ending in "unlocked"/"Unlocked" assert the opposite and never count.
+func lockedHelper(name string) bool {
+	if strings.HasSuffix(name, "unlocked") || strings.HasSuffix(name, "Unlocked") {
+		return false
+	}
+	return strings.HasSuffix(name, "locked") || strings.HasSuffix(name, "Locked")
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// through a pointer).
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// collectGuards walks the package's struct declarations and returns the
+// annotated field objects. Annotations whose named mutex is missing or not
+// a sync.Mutex/RWMutex are reported immediately.
+func collectGuards(p *Pass) map[types.Object]guardInfo {
+	guards := make(map[types.Object]guardInfo)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Index the sibling fields by name for mutex validation.
+			siblings := make(map[string]*ast.Field)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					siblings[name.Name] = f
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := annotationOf(f)
+				if mu == "" {
+					continue
+				}
+				muField, ok := siblings[mu]
+				if !ok {
+					p.Reportf(f.Pos(),
+						"guarded-by annotation names %q, which is not a field of %s",
+						mu, ts.Name.Name)
+					continue
+				}
+				if !isMutexType(p.Info.TypeOf(muField.Type)) {
+					p.Reportf(f.Pos(),
+						"guarded-by annotation names %s.%s, which is not a sync.Mutex or sync.RWMutex",
+						ts.Name.Name, mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := p.Info.Defs[name]; obj != nil {
+						guards[obj] = guardInfo{structName: ts.Name.Name, mutexName: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// annotationOf returns the mutex name of a field's "guarded by" annotation,
+// checking the doc comment and the trailing line comment.
+func annotationOf(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// exprKey renders an expression to a canonical string, so "same receiver"
+// is a syntactic comparison: s.mu.Lock() sanctions accesses through s, not
+// through some other instance.
+func exprKey(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, e) // printing to a Buffer cannot fail
+	return buf.String()
+}
+
+func runMutexGuard(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range p.Files {
+		checkFuncs(p, file, guards)
+	}
+}
+
+// checkFuncs walks every function (declaration or literal) in file and
+// checks annotated-field accesses against the locks the function acquires.
+func checkFuncs(p *Pass, file *ast.File, guards map[types.Object]guardInfo) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				checkFuncBody(p, fn.Name.Name, fn.Body, guards)
+			}
+		case *ast.FuncLit:
+			checkFuncBody(p, "", fn.Body, guards)
+		}
+		return true
+	})
+}
+
+// checkFuncBody checks one function body. Nested function literals are
+// skipped here — the outer Inspect in checkFuncs visits them as their own
+// scopes, because a closure that accesses a guarded field must itself
+// acquire the lock (it may run on a different goroutine than its creator).
+func checkFuncBody(p *Pass, name string, body *ast.BlockStmt, guards map[types.Object]guardInfo) {
+	if lockedHelper(name) {
+		return // caller holds the lock by convention
+	}
+	acquired := lockAcquisitions(p, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate scope, visited by checkFuncs
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[sel.Sel]
+		g, guarded := guards[obj]
+		if !guarded {
+			return true
+		}
+		base := exprKey(p.Fset, sel.X)
+		if acquired[lockKey{base: base, mutex: g.mutexName}] {
+			return true
+		}
+		p.Reportf(sel.Pos(),
+			"%s.%s is annotated `guarded by %s` but this access never acquires %s.%s (lock it, or name the helper *locked)",
+			g.structName, sel.Sel.Name, g.mutexName, base, g.mutexName)
+		return true
+	})
+}
+
+// lockKey identifies one acquisition: the receiver expression's canonical
+// rendering plus the mutex field name.
+type lockKey struct {
+	base  string
+	mutex string
+}
+
+// lockAcquisitions collects every base.mu.Lock()/RLock() call in body.
+// Nested function literals are excluded: a Lock inside a closure protects
+// the closure's accesses (checked when the closure is analyzed), not the
+// enclosing function's.
+func lockAcquisitions(p *Pass, body *ast.BlockStmt) map[lockKey]bool {
+	acquired := make(map[lockKey]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested closure's Lock does not protect this body
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		acquired[lockKey{base: exprKey(p.Fset, muSel.X), mutex: muSel.Sel.Name}] = true
+		return true
+	})
+	return acquired
+}

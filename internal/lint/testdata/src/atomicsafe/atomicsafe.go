@@ -1,0 +1,86 @@
+// Package fixture exercises the atomicsafe analyzer: plain accesses to
+// locations that are elsewhere touched via sync/atomic carry // want
+// comments, the rest are false-positive coverage.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hits is a package-level raw atomic counter.
+var hits int64
+
+// misses is a plain counter never touched atomically: out of scope.
+var misses int64
+
+// recordHit is the sanctioned atomic write.
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// loadHits is the sanctioned atomic read.
+func loadHits() int64 {
+	return atomic.LoadInt64(&hits)
+}
+
+// plainRead races recordHit: the load must go through sync/atomic too.
+func plainRead() int64 {
+	return hits // want "plain access races"
+}
+
+// plainWrite races recordHit from the writing side.
+func plainWrite() {
+	hits = 0 // want "plain access races"
+}
+
+// plainMisses is fine: misses is never accessed atomically.
+func plainMisses() int64 {
+	misses++
+	return misses
+}
+
+// gauge mixes a raw atomic field with typed atomics and a mutex-guarded
+// map; only the raw field is in scope.
+type gauge struct {
+	n     uint32 // touched via atomic.AddUint32
+	typed atomic.Int64
+	mu    sync.Mutex
+	m     map[string]int
+}
+
+// bump is the sanctioned atomic access to the field.
+func (g *gauge) bump() {
+	atomic.AddUint32(&g.n, 1)
+}
+
+// read races bump through the selector path.
+func (g *gauge) read() uint32 {
+	return g.n // want "plain access races"
+}
+
+// typedOK uses a typed atomic: immune by construction, never flagged.
+func (g *gauge) typedOK() int64 {
+	g.typed.Add(1)
+	return g.typed.Load()
+}
+
+// lockedOK uses the mutex-guarded map: a different discipline, out of
+// scope for atomicsafe.
+func (g *gauge) lockedOK() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// newGauge shows the one sanctioned plain write: initialization before the
+// value is shared, with its reason on record.
+func newGauge() *gauge {
+	g := &gauge{m: make(map[string]int)}
+	//lint:ignore atomicsafe construction precedes sharing; no concurrent accessor exists yet
+	g.n = 0
+	return g
+}
+
+var _ = []any{recordHit, loadHits, plainRead, plainWrite, plainMisses,
+	(*gauge).bump, (*gauge).read, (*gauge).typedOK, (*gauge).lockedOK, newGauge}

@@ -3,6 +3,8 @@
 package fixture
 
 import (
+	"encoding/json"
+	"net/http"
 	"os"
 	"strings"
 )
@@ -53,4 +55,31 @@ func suppressed(f *os.File) {
 	f.Close()
 }
 
-var _ = []any{drops, deferredClose, handled, acknowledged, builder, suppressed}
+// blankResponseWrite drops the one signal that the client never received
+// its response: on ResponseWriter paths, even the explicit blank assign is
+// flagged.
+func blankResponseWrite(w http.ResponseWriter, body []byte) {
+	_, _ = w.Write(body) // want "blank-assigned on a ResponseWriter path"
+}
+
+// blankEncoderToResponse reaches the ResponseWriter through an encoder
+// chain; the mention is in the receiver, not the arguments.
+func blankEncoderToResponse(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v) // want "blank-assigned on a ResponseWriter path"
+}
+
+// countedResponseWrite handles the error — the expected shape.
+func countedResponseWrite(w http.ResponseWriter, body []byte, errs *int) {
+	if _, err := w.Write(body); err != nil {
+		*errs++
+	}
+}
+
+// blankFileWrite is NOT on a ResponseWriter path: the explicit blank assign
+// stays an acknowledged drop.
+func blankFileWrite(f *os.File, body []byte) {
+	_, _ = f.Write(body)
+}
+
+var _ = []any{drops, deferredClose, handled, acknowledged, builder, suppressed,
+	blankResponseWrite, blankEncoderToResponse, countedResponseWrite, blankFileWrite}

@@ -90,8 +90,10 @@ func parseQuery(v url.Values, cat *workloads.Catalog, devices map[string]gpu.Dev
 	return q, nil
 }
 
-// writeJSON writes v as the complete response body.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as the complete response body. A failed write means
+// the client hung up mid-response; it cannot be retried, so it is counted
+// under serve.write_errors instead.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := json.MarshalIndent(v, "", "\t")
 	if err != nil {
 		// Response shapes are plain data; failure here is a programming bug.
@@ -100,7 +102,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_, _ = w.Write(append(data, '\n')) // client hung up; no one left to tell
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		s.ctr.Add(telemetry.CtrServeWriteErrors, 1)
+	}
 }
 
 // writeAPIError writes the JSON error envelope.
@@ -109,14 +113,16 @@ func (s *Server) writeAPIError(w http.ResponseWriter, aerr *apiError) {
 	if aerr.Status == http.StatusGatewayTimeout {
 		s.ctr.Add(telemetry.CtrServeDeadlineExceeded, 1)
 	}
-	writeJSON(w, aerr.Status, errorBody{Error: aerr.Msg, Status: aerr.Status})
+	s.writeJSON(w, aerr.Status, errorBody{Error: aerr.Msg, Status: aerr.Status})
 }
 
 // writeBody writes a rendered success body with the given content type.
 func (s *Server) writeBody(w http.ResponseWriter, contentType string, body []byte) {
 	s.ctr.Add("serve.status.200", 1)
 	w.Header().Set("Content-Type", contentType)
-	_, _ = w.Write(body) // client hung up; no one left to tell
+	if _, err := w.Write(body); err != nil {
+		s.ctr.Add(telemetry.CtrServeWriteErrors, 1)
+	}
 }
 
 // api wraps a study-backed handler with the production funnel: shutdown
@@ -186,7 +192,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeAPIError(w, aerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"workloads": len(s.cat.All()),
 		"devices":   s.deviceNames(),
@@ -202,7 +208,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.reg.WritePrometheus(w) // client hung up; no one left to tell
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.ctr.Add(telemetry.CtrServeWriteErrors, 1)
+	}
 }
 
 // workloadJSON is one catalog entry in the workloads listing.
@@ -240,7 +248,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 			Domain: string(wl.Domain()), Name: wl.Name(),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // kernelJSON is one kernel's characterization in a profile response.

@@ -30,9 +30,9 @@ type shardedLRU struct {
 
 type lruShard struct {
 	mu       sync.Mutex
-	capacity int
-	entries  map[string]*list.Element // key -> element holding *lruItem
-	recency  *list.List               // front = most recently used
+	capacity int                      // immutable after construction
+	entries  map[string]*list.Element // guarded by mu; key -> element holding *lruItem
+	recency  *list.List               // guarded by mu; front = most recently used
 }
 
 type lruItem struct {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/testutil"
 )
 
 func entry(abbr string) profileEntry {
@@ -61,6 +62,7 @@ func TestLRUShardCapacity(t *testing.T) {
 }
 
 func TestLRUConcurrentAccess(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	l := newShardedLRU(64, 8)
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/testutil"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -182,6 +183,7 @@ func TestQueueFull(t *testing.T) {
 
 // TestShutdownRejects — after Shutdown begins, API requests get 503.
 func TestShutdownRejects(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	s, err := New(Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)

@@ -15,10 +15,13 @@ import (
 // storm of impatient clients cannot re-trigger the same simulation.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flightCall
+	m  map[string]*flightCall // guarded by mu
 }
 
-// flightCall is one in-flight (or completed) computation.
+// flightCall is one in-flight (or completed) computation. p and err are
+// not mutex-guarded: the leader writes them before closing done, and
+// waiters read them only after <-done, so the channel is the happens-before
+// edge.
 type flightCall struct {
 	done chan struct{} // closed when profile/err are valid
 	p    *core.Profile

@@ -6,12 +6,15 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/testutil"
 )
 
 // TestFlightCollapsesConcurrentCallers — with the computation blocked, any
 // number of callers of one key produce exactly one leader and one fn run;
-// every caller gets the same result pointer.
+// every caller gets the same result pointer. The leak check proves the
+// leader goroutine exits once the flight completes.
 func TestFlightCollapsesConcurrentCallers(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	g := newFlightGroup()
 	release := make(chan struct{})
 	var runs atomic.Int64
@@ -62,6 +65,7 @@ func TestFlightCollapsesConcurrentCallers(t *testing.T) {
 // TestFlightKeyRetiresAfterCompletion — once a call completes, the key is
 // free again and a new caller leads a fresh computation.
 func TestFlightKeyRetiresAfterCompletion(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	g := newFlightGroup()
 	run := func() *flightCall {
 		c, leader := g.do("key", func() (*core.Profile, error) { return &core.Profile{}, nil })
@@ -78,6 +82,7 @@ func TestFlightKeyRetiresAfterCompletion(t *testing.T) {
 
 // TestFlightIndependentKeys — distinct keys never share a call.
 func TestFlightIndependentKeys(t *testing.T) {
+	defer testutil.CheckLeaks(t)()
 	g := newFlightGroup()
 	release := make(chan struct{})
 	blocked := func() (*core.Profile, error) { <-release; return nil, nil }

@@ -68,6 +68,11 @@ const (
 	// CtrServeFlightShared counts singleflight calls that joined a study
 	// another request already had in flight — the deduplication win.
 	CtrServeFlightShared = "serve.singleflight_shared"
+	// CtrServeWriteErrors counts response bodies that failed to reach the
+	// client (connection reset mid-write, client hang-up). The response
+	// cannot be retried — the client is gone — but a spike here is an
+	// operational symptom worth alerting on, so it is counted, not dropped.
+	CtrServeWriteErrors = "serve.write_errors"
 )
 
 // WorkloadModeledNs returns the counter name holding a workload's modeled
@@ -83,7 +88,7 @@ func WorkloadWallNs(abbr string) string { return "workload." + abbr + ".wall_ns"
 // no-op receiver, so instrumented code never needs nil checks.
 type Counters struct {
 	mu sync.RWMutex
-	m  map[string]*atomic.Int64
+	m  map[string]*atomic.Int64 // guarded by mu; the values are atomic
 }
 
 // NewCounters returns an empty registry.

@@ -76,9 +76,9 @@ type Histogram struct {
 	spec HistogramSpec
 
 	mu     sync.Mutex
-	counts []int64 // per finite bucket; the +Inf remainder is count - Σ counts
-	sum    float64
-	count  int64
+	counts []int64 // guarded by mu; per finite bucket; +Inf remainder is count - Σ counts
+	sum    float64 // guarded by mu
+	count  int64   // guarded by mu
 }
 
 // Observe records one value. NaN observations are dropped — a NaN would
@@ -141,7 +141,7 @@ type Registry struct {
 	ctr *Counters
 
 	mu    sync.RWMutex
-	hists map[string]*Histogram
+	hists map[string]*Histogram // guarded by mu; the histograms self-lock
 }
 
 // NewRegistry returns a registry with a fresh counters set.

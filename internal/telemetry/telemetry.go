@@ -119,7 +119,7 @@ func Now() float64 { return time.Since(epoch).Seconds() }
 // later export. Safe for concurrent use by pooled workers.
 type Recorder struct {
 	mu     sync.Mutex
-	events []Event
+	events []Event // guarded by mu
 }
 
 // NewRecorder returns an empty recording sink.

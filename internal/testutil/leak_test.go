@@ -1,0 +1,76 @@
+package testutil
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder is a TB that captures failures instead of failing, so the
+// checker's own behavior is assertable.
+type recorder struct {
+	mu       sync.Mutex
+	failures []string // guarded by mu
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failures = append(r.failures, strings.TrimSpace(strings.Split(format, "\n")[0]))
+}
+
+func (r *recorder) failed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.failures) > 0
+}
+
+// TestCheckLeaksCatchesDeliberateLeak parks a goroutine on a channel the
+// test holds open past the settle deadline: the checker must report it.
+func TestCheckLeaksCatchesDeliberateLeak(t *testing.T) {
+	rec := &recorder{}
+	check := CheckLeaksWithin(rec, 200*time.Millisecond)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	check()
+	close(release) // unpark so the leak does not outlive this test
+	if !rec.failed() {
+		t.Fatal("checker did not report a goroutine parked past the settle deadline")
+	}
+}
+
+// TestCheckLeaksSettles starts a goroutine that exits shortly after the
+// check begins: the retry loop must wait it out instead of flaking. Run
+// under -race in CI, where goroutine unwinding is slowest.
+func TestCheckLeaksSettles(t *testing.T) {
+	check := CheckLeaks(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	check() // the goroutine is still sleeping when this starts
+	<-done
+}
+
+// TestCheckLeaksCleanPass pins the zero-goroutine fast path: no work, no
+// failure, no waiting out the settle deadline.
+func TestCheckLeaksCleanPass(t *testing.T) {
+	rec := &recorder{}
+	start := time.Now()
+	CheckLeaksWithin(rec, defaultSettle)()
+	if rec.failed() {
+		t.Fatalf("clean pass reported failures: %v", rec.failures)
+	}
+	if elapsed := time.Since(start); elapsed > defaultSettle/2 {
+		t.Errorf("clean pass took %v; it must return immediately, not wait the settle deadline", elapsed)
+	}
+}
