@@ -16,10 +16,14 @@
 //
 // Flags:
 //
-//	-analyzers a,b   run only the named analyzers (default: all)
-//	-json            print findings (or suppressions) as JSON, one per line
-//	-list            print the analyzers and exit
+//	-run a,b         run only the named analyzers (default: all)
+//	-analyzers a,b   alias for -run (the original spelling)
+//	-json            print findings (or suppressions, or the -list table) as JSON, one per line
+//	-list            print every analyzer with its description and scope, sorted by name, and exit
 //	-suppressions    list every //lint:ignore directive instead of linting
+//
+// An unknown analyzer name given to -run (or -analyzers) is a usage
+// error: exit code 2, nothing analyzed.
 //
 // With -json each finding is one object per line, for tooling (the GitHub
 // Actions problem matcher in .github/cactuslint-matcher.json consumes it):
@@ -40,6 +44,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
@@ -60,9 +65,10 @@ func main() {
 func run(args []string, out, errOut io.Writer) (int, error) {
 	fs := flag.NewFlagSet("cactuslint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	names := fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
-	asJSON := fs.Bool("json", false, "print findings (or suppressions) as JSON, one per line")
-	list := fs.Bool("list", false, "print the analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	names := fs.String("analyzers", "", "alias for -run")
+	asJSON := fs.Bool("json", false, "print findings (or suppressions, or the -list table) as JSON, one per line")
+	list := fs.Bool("list", false, "print every analyzer with its description and scope and exit")
 	suppressions := fs.Bool("suppressions", false, "list every //lint:ignore directive instead of linting")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -70,14 +76,15 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 
 	analyzers := lint.Analyzers()
 	if *list {
-		for _, a := range analyzers {
-			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
-		}
-		return 0, nil
+		return listAnalyzers(out, analyzers, *asJSON)
 	}
-	if *names != "" {
+	sel := *runNames
+	if sel == "" {
+		sel = *names
+	}
+	if sel != "" {
 		analyzers = analyzers[:0]
-		for _, name := range strings.Split(*names, ",") {
+		for _, name := range strings.Split(sel, ",") {
 			a := lint.ByName(strings.TrimSpace(name))
 			if a == nil {
 				return 2, fmt.Errorf("unknown analyzer %q", name)
@@ -120,6 +127,38 @@ func run(args []string, out, errOut io.Writer) (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// listAnalyzers prints the analyzer table, sorted by name: one
+// `name  scope  description` row per analyzer, or one JSON object per
+// line with -json.
+func listAnalyzers(out io.Writer, analyzers []*lint.Analyzer, asJSON bool) (int, error) {
+	sorted := make([]*lint.Analyzer, len(analyzers))
+	copy(sorted, analyzers)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, a := range sorted {
+		scope := a.ScopeDoc
+		if scope == "" {
+			scope = "all packages"
+		}
+		if asJSON {
+			data, err := json.Marshal(jsonAnalyzer{Name: a.Name, Scope: scope, Doc: a.Doc})
+			if err != nil {
+				return 2, err
+			}
+			fmt.Fprintf(out, "%s\n", data)
+			continue
+		}
+		fmt.Fprintf(out, "%-16s scope: %s\n%-16s %s\n", a.Name, scope, "", a.Doc)
+	}
+	return 0, nil
+}
+
+// jsonAnalyzer is the -list -json wire shape.
+type jsonAnalyzer struct {
+	Name  string `json:"name"`
+	Scope string `json:"scope"`
+	Doc   string `json:"doc"`
 }
 
 // listSuppressions prints the //lint:ignore inventory of pkgs, sorted by

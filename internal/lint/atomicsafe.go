@@ -24,7 +24,8 @@ var AtomicSafe = &Analyzer{
 	Name: "atomicsafe",
 	Doc: "forbid plain reads/writes of variables that are accessed via " +
 		"sync/atomic elsewhere",
-	Run: runAtomicSafe,
+	ScopeDoc: "all packages",
+	Run:      runAtomicSafe,
 }
 
 // atomicCallArg returns the expression whose address is taken by a

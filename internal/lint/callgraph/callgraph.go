@@ -1,0 +1,631 @@
+// Package callgraph builds a static, whole-program call graph over the
+// parsed and type-checked packages cactuslint analyzes, so analyzers can
+// reason interprocedurally: which functions a call site may invoke, which
+// functions are reachable from a root, and which functions call each other
+// in cycles.
+//
+// Resolution is class-hierarchy analysis (CHA) over the analyzed program:
+//
+//   - a call to a declared function or a method on a concrete receiver has
+//     exactly one target;
+//   - a call through an interface resolves to the matching method of every
+//     named type in the program that implements the interface — an
+//     over-approximation that never misses an in-program target;
+//   - a call through a local function variable resolves to every function
+//     literal, declared function, or method value the variable is assigned
+//     anywhere in the enclosing function (flow-insensitive);
+//   - function literals are first-class nodes named parent$1, parent$2, …
+//     in source order, and every literal has a Closure edge from the
+//     function that lexically contains it, so reachability can choose to
+//     follow or ignore lexical containment.
+//
+// Calls whose target is outside the analyzed program (stdlib, export-data
+// imports) produce no edge: the graph describes the program, and analyzers
+// treat missing targets as "unknown, assume benign".
+//
+// The graph is deterministic: nodes are numbered by (file, offset) of their
+// declaration and every adjacency list is sorted, so golden-edge-list tests
+// and findings derived from graph walks are stable across runs.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Kind classifies how an edge's call site binds to its target.
+type Kind int
+
+const (
+	// Static is a direct call to a declared function, a method on a
+	// concrete receiver, or an immediately invoked function literal.
+	Static Kind = iota
+	// Interface is a CHA-resolved call through an interface method.
+	Interface
+	// Dynamic is a call through a local function variable, resolved to the
+	// values assigned to it in the enclosing function.
+	Dynamic
+	// Closure links a function to a literal it lexically contains. It is
+	// not a call: followers decide whether containment implies execution.
+	Closure
+)
+
+// String names the kind for messages and golden edge lists.
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Interface:
+		return "interface"
+	case Dynamic:
+		return "dynamic"
+	case Closure:
+		return "closure"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Edge is one resolved call (or containment) from Caller to Callee.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Pos is the call site (or the literal's position for Closure edges).
+	Pos token.Pos
+	// Kind records how the target was resolved.
+	Kind Kind
+	// Go marks a call spawned in a go statement: the callee runs on a new
+	// goroutine, so the call does not happen "while" the caller's locks
+	// are held or its deadlines apply.
+	Go bool
+	// Defer marks a call made in a defer statement.
+	Defer bool
+}
+
+// Node is one function in the graph: a declared function or method, or a
+// function literal.
+type Node struct {
+	// Name qualifies the function deterministically:
+	// "pkg/path.Func", "pkg/path.(*Recv).Method", or "…$N" for literals.
+	Name string
+	// Func is the type-checker's object; nil for function literals.
+	Func *types.Func
+	// Body is the function's body; never nil (bodyless declarations get
+	// no node).
+	Body *ast.BlockStmt
+	// FType is the declared signature's syntax (parameter names for
+	// argument mapping).
+	FType *ast.FuncType
+	// Info is the type-check info of the package the function lives in,
+	// so analyzers can query types while walking a foreign node's body.
+	Info *types.Info
+	// Out and In are the adjacency lists, sorted by (Pos, Callee/Caller
+	// name) once Build returns.
+	Out []*Edge
+	In  []*Edge
+
+	id int
+	// pos orders nodes deterministically.
+	pos token.Pos
+}
+
+// Source is one package's worth of build input, mirroring the driver's
+// package representation without importing it.
+type Source struct {
+	Path  string
+	Files []*ast.File
+	Info  *types.Info
+	Pkg   *types.Package
+}
+
+// Graph is the built call graph.
+type Graph struct {
+	Fset  *token.FileSet
+	Nodes []*Node // deterministic order: by declaration position
+
+	byFunc map[*types.Func]*Node
+	byLit  map[*ast.FuncLit]*Node
+}
+
+// NodeOf returns the node of a declared function or method, or nil when fn
+// has no body in the analyzed program.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// NodeOfLit returns the node of a function literal, or nil.
+func (g *Graph) NodeOfLit(lit *ast.FuncLit) *Node { return g.byLit[lit] }
+
+// Build constructs the graph over the sources. All sources must share fset.
+func Build(fset *token.FileSet, srcs []Source) *Graph {
+	g := &Graph{
+		Fset:   fset,
+		byFunc: make(map[*types.Func]*Node),
+		byLit:  make(map[*ast.FuncLit]*Node),
+	}
+	b := &builder{g: g}
+	for _, src := range srcs {
+		b.collectNodes(src)
+		b.collectTypes(src)
+	}
+	b.numberNodes()
+	for _, src := range srcs {
+		b.resolveCalls(src)
+	}
+	b.sortEdges()
+	return g
+}
+
+// builder carries the intermediate state of one Build.
+type builder struct {
+	g *Graph
+	// concrete is every non-interface named type defined in the program,
+	// for CHA interface resolution; deduplicated, deterministic order.
+	concrete []*types.TypeName
+	seen     map[*types.TypeName]bool
+}
+
+// collectNodes creates a node for every function declaration with a body
+// and every function literal, naming literals parent$N in source order.
+func (b *builder) collectNodes(src Source) {
+	for _, file := range src.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := src.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			parent := &Node{Name: qualifiedName(fn), Func: fn, Body: fd.Body,
+				FType: fd.Type, Info: src.Info, pos: fd.Pos()}
+			b.g.byFunc[fn] = parent
+			b.g.Nodes = append(b.g.Nodes, parent)
+			b.collectLits(parent, fd.Body)
+		}
+	}
+}
+
+// collectLits creates nodes for the literals lexically inside body, with
+// Closure edges from the containing node. Nesting recurses: a literal
+// inside a literal belongs to the inner one.
+func (b *builder) collectLits(parent *Node, body *ast.BlockStmt) {
+	n := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		lit, ok := node.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		n++
+		child := &Node{
+			Name:  fmt.Sprintf("%s$%d", parent.Name, n),
+			Body:  lit.Body,
+			FType: lit.Type,
+			Info:  parent.Info,
+			pos:   lit.Pos(),
+		}
+		b.g.byLit[lit] = child
+		b.g.Nodes = append(b.g.Nodes, child)
+		b.addEdge(&Edge{Caller: parent, Callee: child, Pos: lit.Pos(), Kind: Closure})
+		b.collectLits(child, lit.Body)
+		return false // inner literals belong to child
+	})
+}
+
+// collectTypes gathers the program's concrete named types for CHA.
+func (b *builder) collectTypes(src Source) {
+	if b.seen == nil {
+		b.seen = make(map[*types.TypeName]bool)
+	}
+	for _, obj := range src.Info.Defs {
+		tn, ok := obj.(*types.TypeName)
+		if !ok || tn.IsAlias() || b.seen[tn] {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		b.seen[tn] = true
+		b.concrete = append(b.concrete, tn)
+	}
+	sort.Slice(b.concrete, func(i, j int) bool {
+		a, c := b.concrete[i], b.concrete[j]
+		if a.Pkg() != c.Pkg() && a.Pkg() != nil && c.Pkg() != nil {
+			return a.Pkg().Path() < c.Pkg().Path()
+		}
+		return a.Name() < c.Name()
+	})
+}
+
+// numberNodes fixes the deterministic node order: declaration position.
+func (b *builder) numberNodes() {
+	fset := b.g.Fset
+	sort.Slice(b.g.Nodes, func(i, j int) bool {
+		a, c := fset.Position(b.g.Nodes[i].pos), fset.Position(b.g.Nodes[j].pos)
+		if a.Filename != c.Filename {
+			return a.Filename < c.Filename
+		}
+		return a.Offset < c.Offset
+	})
+	for i, n := range b.g.Nodes {
+		n.id = i
+	}
+}
+
+// resolveCalls walks every node's body and adds call edges.
+func (b *builder) resolveCalls(src Source) {
+	for _, file := range src.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := src.Info.Defs[fd.Name].(*types.Func)
+			if node := b.g.byFunc[fn]; node != nil {
+				b.resolveBody(src, node, fd.Body, nil)
+			}
+		}
+	}
+}
+
+// resolveBody resolves the calls lexically inside body but outside nested
+// literals (those resolve in their own invocation), tagging go/defer call
+// sites. Local function-variable bindings are collected first so Dynamic
+// calls can resolve flow-insensitively; inherited carries the enclosing
+// scopes' bindings so a closure calling a captured function variable still
+// resolves.
+func (b *builder) resolveBody(src Source, node *Node, body *ast.BlockStmt, inherited map[types.Object][]*Node) {
+	bindings := b.collectBindings(src, body)
+	for obj, targets := range inherited {
+		bindings[obj] = append(bindings[obj], targets...)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			if child := b.g.byLit[st]; child != nil {
+				b.resolveBody(src, child, st.Body, bindings)
+			}
+			return false
+		case *ast.GoStmt:
+			b.resolveCall(src, node, bindings, st.Call, true, false)
+			b.resolveExprs(src, node, bindings, st.Call)
+			return false
+		case *ast.DeferStmt:
+			b.resolveCall(src, node, bindings, st.Call, false, true)
+			b.resolveExprs(src, node, bindings, st.Call)
+			return false
+		case *ast.CallExpr:
+			b.resolveCall(src, node, bindings, st, false, false)
+			return true
+		}
+		return true
+	})
+}
+
+// resolveExprs resolves ordinary calls nested in a go/defer call's function
+// and argument expressions (those evaluate on the caller's goroutine, now).
+func (b *builder) resolveExprs(src Source, node *Node, bindings map[types.Object][]*Node, call *ast.CallExpr) {
+	for _, e := range append([]ast.Expr{call.Fun}, call.Args...) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if inner, ok := n.(*ast.CallExpr); ok {
+				b.resolveCall(src, node, bindings, inner, false, false)
+			}
+			return true
+		})
+	}
+}
+
+// collectBindings maps each local variable of function type to the
+// candidate targets assigned to it anywhere in body: function literals,
+// declared functions, and method values. The map is flow-insensitive.
+func (b *builder) collectBindings(src Source, body *ast.BlockStmt) map[types.Object][]*Node {
+	bindings := make(map[types.Object][]*Node)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := src.Info.Defs[id]
+		if obj == nil {
+			obj = src.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if t := b.targetOf(src, rhs); t != nil {
+			bindings[obj] = append(bindings[obj], t)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					bind(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i := range vs.Names {
+					bind(vs.Names[i], vs.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return bindings
+}
+
+// targetOf resolves an expression used as a function value: a literal, a
+// declared function's name, or a method value.
+func (b *builder) targetOf(src Source, e ast.Expr) *Node {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return b.g.byLit[e]
+	case *ast.Ident:
+		if fn, ok := src.Info.Uses[e].(*types.Func); ok {
+			return b.g.byFunc[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := src.Info.Uses[e.Sel].(*types.Func); ok {
+			return b.g.byFunc[fn]
+		}
+	}
+	return nil
+}
+
+// resolveCall adds the edges of one call site.
+func (b *builder) resolveCall(src Source, caller *Node, bindings map[types.Object][]*Node, call *ast.CallExpr, isGo, isDefer bool) {
+	add := func(target *Node, kind Kind) {
+		if target != nil {
+			b.addEdge(&Edge{Caller: caller, Callee: target, Pos: call.Pos(), Kind: kind, Go: isGo, Defer: isDefer})
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		add(b.g.byLit[fun], Static)
+	case *ast.Ident:
+		switch obj := src.Info.Uses[fun].(type) {
+		case *types.Func:
+			add(b.g.byFunc[obj], Static)
+		case *types.Var:
+			for _, t := range bindings[obj] {
+				add(t, Dynamic)
+			}
+		}
+	case *ast.SelectorExpr:
+		sel, ok := src.Info.Selections[fun]
+		if !ok {
+			// Qualified identifier: pkg.F.
+			if fn, ok := src.Info.Uses[fun.Sel].(*types.Func); ok {
+				add(b.g.byFunc[fn], Static)
+			}
+			return
+		}
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok {
+			// Calling a function-typed struct field: unresolved.
+			return
+		}
+		if iface := interfaceOf(sel.Recv()); iface != nil {
+			for _, t := range b.implementers(iface, fn.Name()) {
+				add(t, Interface)
+			}
+			return
+		}
+		add(b.g.byFunc[fn], Static)
+	}
+}
+
+// interfaceOf returns t's underlying interface, or nil for concrete types.
+func interfaceOf(t types.Type) *types.Interface {
+	iface, _ := t.Underlying().(*types.Interface)
+	return iface
+}
+
+// implementers returns the nodes of the named method of every concrete
+// program type (or its pointer type) implementing iface, in deterministic
+// type order.
+func (b *builder) implementers(iface *types.Interface, method string) []*Node {
+	var out []*Node
+	for _, tn := range b.concrete {
+		t := tn.Type()
+		recv := t
+		if !types.Implements(t, iface) {
+			recv = types.NewPointer(t)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		ms := types.NewMethodSet(recv)
+		for i := 0; i < ms.Len(); i++ {
+			fn, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || fn.Name() != method {
+				continue
+			}
+			if node := b.g.byFunc[fn]; node != nil {
+				out = append(out, node)
+			}
+		}
+	}
+	return out
+}
+
+// addEdge appends the edge to both adjacency lists, deduplicating exact
+// repeats (same site, same target, same kind).
+func (b *builder) addEdge(e *Edge) {
+	for _, prev := range e.Caller.Out {
+		if prev.Callee == e.Callee && prev.Pos == e.Pos && prev.Kind == e.Kind {
+			return
+		}
+	}
+	e.Caller.Out = append(e.Caller.Out, e)
+	e.Callee.In = append(e.Callee.In, e)
+}
+
+// sortEdges fixes every adjacency list's deterministic order.
+func (b *builder) sortEdges() {
+	for _, n := range b.g.Nodes {
+		sort.Slice(n.Out, func(i, j int) bool {
+			a, c := n.Out[i], n.Out[j]
+			if a.Pos != c.Pos {
+				return a.Pos < c.Pos
+			}
+			if a.Callee.id != c.Callee.id {
+				return a.Callee.id < c.Callee.id
+			}
+			return a.Kind < c.Kind
+		})
+		sort.Slice(n.In, func(i, j int) bool {
+			a, c := n.In[i], n.In[j]
+			if a.Caller.id != c.Caller.id {
+				return a.Caller.id < c.Caller.id
+			}
+			return a.Pos < c.Pos
+		})
+	}
+}
+
+// qualifiedName renders a deterministic node name: "pkg/path.Func" or
+// "pkg/path.(*Recv).Method".
+func qualifiedName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig == nil || sig.Recv() == nil {
+		return pkg + "." + fn.Name()
+	}
+	recv := sig.Recv().Type()
+	ptr := ""
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+		ptr = "*"
+	}
+	name := recv.String()
+	if named, ok := recv.(*types.Named); ok {
+		name = named.Obj().Name()
+	}
+	return fmt.Sprintf("%s.(%s%s).%s", pkg, ptr, name, fn.Name())
+}
+
+// Reachable returns every node reachable from the roots over edges for
+// which follow returns true (nil follows every edge), including the roots
+// themselves, in deterministic node order.
+func (g *Graph) Reachable(roots []*Node, follow func(*Edge) bool) []*Node {
+	seen := make(map[*Node]bool)
+	var stack []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	out := make([]*Node, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// SCCs returns the strongly connected components of the call edges
+// (Closure edges included), each component and the component list in
+// deterministic node order. Components are returned in reverse
+// topological order (callees before callers), the natural order for
+// bottom-up interprocedural propagation.
+func (g *Graph) SCCs() [][]*Node {
+	// Tarjan, iterative to survive deep graphs.
+	index := make(map[*Node]int)
+	low := make(map[*Node]int)
+	onStack := make(map[*Node]bool)
+	var stack []*Node
+	var comps [][]*Node
+	next := 0
+
+	type frame struct {
+		n  *Node
+		ei int
+	}
+	for _, root := range g.Nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		work := []frame{{n: root}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			n := f.n
+			if f.ei == 0 {
+				index[n] = next
+				low[n] = next
+				next++
+				stack = append(stack, n)
+				onStack[n] = true
+			}
+			advanced := false
+			for f.ei < len(n.Out) {
+				e := n.Out[f.ei]
+				f.ei++
+				m := e.Callee
+				if _, ok := index[m]; !ok {
+					work = append(work, frame{n: m})
+					advanced = true
+					break
+				} else if onStack[m] && index[m] < low[n] {
+					low[n] = index[m]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[n] == index[n] {
+				var comp []*Node
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					comp = append(comp, m)
+					if m == n {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i].id < comp[j].id })
+				comps = append(comps, comp)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].n
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,201 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks one import-free fixture package under
+// testdata/src and returns it as a build Source.
+func loadFixture(t *testing.T, fset *token.FileSet, dir string) Source {
+	t.Helper()
+	full := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(full, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check(dir, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return Source{Path: dir, Files: files, Info: info, Pkg: pkg}
+}
+
+// buildDispatch builds the graph over the dispatch fixture.
+func buildDispatch(t *testing.T) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	return Build(fset, []Source{loadFixture(t, fset, "dispatch")})
+}
+
+// renderEdges flattens the graph to deterministic "caller -> callee [kind]"
+// lines, the golden-list shape.
+func renderEdges(g *Graph) []string {
+	var out []string
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			line := e.Caller.Name + " -> " + e.Callee.Name + " [" + e.Kind.String() + "]"
+			if e.Go {
+				line += " go"
+			}
+			if e.Defer {
+				line += " defer"
+			}
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestGoldenEdgeList pins the full edge list of the dispatch fixture:
+// interface dispatch (CHA over both implementers), static concrete calls,
+// method values, closures (containment and dynamic calls through captured
+// bindings), immediate literal invocation, go/defer tags, and the cycle.
+func TestGoldenEdgeList(t *testing.T) {
+	g := buildDispatch(t)
+	want := []string{
+		"dispatch.speak -> dispatch.(Dog).Sound [interface]",
+		"dispatch.speak -> dispatch.(*Cat).Sound [interface]",
+		"dispatch.direct -> dispatch.(Dog).Sound [static]",
+		"dispatch.methodValue -> dispatch.(*Cat).Sound [dynamic]",
+		"dispatch.closures -> dispatch.closures$1 [closure]",
+		"dispatch.closures -> dispatch.closures$2 [closure]",
+		"dispatch.closures -> dispatch.closures$2 [dynamic]",
+		"dispatch.closures -> dispatch.closures$3 [static]",
+		"dispatch.closures -> dispatch.closures$3 [closure]",
+		"dispatch.closures$2 -> dispatch.closures$1 [dynamic]",
+		"dispatch.closures$2 -> dispatch.direct [static]",
+		"dispatch.spawn -> dispatch.speak [static] go",
+		"dispatch.spawn -> dispatch.direct [static] defer",
+		"dispatch.unused -> dispatch.speak [static]",
+		"dispatch.cycleA -> dispatch.cycleB [static]",
+		"dispatch.cycleB -> dispatch.cycleA [static]",
+	}
+	got := renderEdges(g)
+	if len(got) != len(want) {
+		t.Errorf("edge count = %d, want %d", len(got), len(want))
+	}
+	for i := 0; i < len(got) || i < len(want); i++ {
+		var g, w string
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Errorf("edge %d:\n  got  %s\n  want %s", i, g, w)
+		}
+	}
+}
+
+// nodeByName finds a node or fails the test.
+func nodeByName(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+// names renders a node list for comparison.
+func names(ns []*Node) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = n.Name
+	}
+	return strings.Join(parts, " ")
+}
+
+// TestReachable checks forward reachability, that unreachable functions
+// stay out, and that an edge filter (ignore go edges) prunes the walk.
+func TestReachable(t *testing.T) {
+	g := buildDispatch(t)
+	closures := nodeByName(t, g, "dispatch.closures")
+	got := names(g.Reachable([]*Node{closures}, nil))
+	want := "dispatch.(Dog).Sound dispatch.direct dispatch.closures " +
+		"dispatch.closures$1 dispatch.closures$2 dispatch.closures$3"
+	if got != want {
+		t.Errorf("Reachable(closures) = %q, want %q", got, want)
+	}
+	for _, n := range g.Reachable([]*Node{closures}, nil) {
+		if n.Name == "dispatch.unused" || n.Name == "dispatch.speak" {
+			t.Errorf("unreachable node %s reported reachable", n.Name)
+		}
+	}
+	spawn := nodeByName(t, g, "dispatch.spawn")
+	noGo := names(g.Reachable([]*Node{spawn}, func(e *Edge) bool { return !e.Go }))
+	wantNoGo := "dispatch.(Dog).Sound dispatch.direct dispatch.spawn"
+	if noGo != wantNoGo {
+		t.Errorf("Reachable(spawn, !go) = %q, want %q", noGo, wantNoGo)
+	}
+}
+
+// TestSCCs checks that the deliberate two-node cycle is one component,
+// everything else is a singleton, and components come out callees-first.
+func TestSCCs(t *testing.T) {
+	g := buildDispatch(t)
+	comps := g.SCCs()
+	var cycle []*Node
+	seen := make(map[*Node]bool)
+	order := make(map[*Node]int)
+	for i, comp := range comps {
+		for _, n := range comp {
+			if seen[n] {
+				t.Errorf("node %s in two components", n.Name)
+			}
+			seen[n] = true
+			order[n] = i
+		}
+		if len(comp) > 1 {
+			if cycle != nil {
+				t.Errorf("more than one multi-node component")
+			}
+			cycle = comp
+		}
+	}
+	if got, want := names(cycle), "dispatch.cycleA dispatch.cycleB"; got != want {
+		t.Errorf("cycle component = %q, want %q", got, want)
+	}
+	if len(seen) != len(g.Nodes) {
+		t.Errorf("components cover %d nodes, graph has %d", len(seen), len(g.Nodes))
+	}
+	// Reverse topological: a callee's component never comes after its
+	// caller's (cycle members share one component).
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if order[e.Callee] > order[n] {
+				t.Errorf("component order not reverse-topological: %s (%d) calls %s (%d)",
+					n.Name, order[n], e.Callee.Name, order[e.Callee])
+			}
+		}
+	}
+}

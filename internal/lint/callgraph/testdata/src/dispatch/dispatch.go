@@ -1,0 +1,76 @@
+// Package dispatch exercises the call-graph builder's resolution modes:
+// static calls, CHA interface dispatch, method values, local function
+// bindings (including capture by closures), immediately invoked literals,
+// and go/defer call sites. It deliberately imports nothing so the test
+// loader needs no importer.
+package dispatch
+
+// Speaker is the dispatch interface.
+type Speaker interface{ Sound() string }
+
+// Dog implements Speaker by value.
+type Dog struct{}
+
+// Sound is Dog's implementation.
+func (d Dog) Sound() string { return "woof" }
+
+// Cat implements Speaker by pointer.
+type Cat struct{}
+
+// Sound is Cat's implementation.
+func (c *Cat) Sound() string { return "meow" }
+
+// Mute is a concrete type with no Sound method: never a CHA target.
+type Mute struct{}
+
+// Quiet keeps Mute used.
+func (m Mute) Quiet() string { return "" }
+
+// speak dispatches through the interface: CHA resolves to every
+// implementation in the program.
+func speak(s Speaker) string { return s.Sound() }
+
+// direct calls the concrete method statically.
+func direct() string {
+	d := Dog{}
+	return d.Sound()
+}
+
+// methodValue binds a method value to a local and calls through it.
+func methodValue() string {
+	c := &Cat{}
+	f := c.Sound
+	return f()
+}
+
+// closures exercises literal nodes, capture, and immediate invocation.
+func closures() string {
+	prefix := func() string { return "the " }
+	wrap := func() string {
+		return prefix() + direct()
+	}
+	return wrap() + func() string { return "!" }()
+}
+
+// spawn exercises go and defer call sites.
+func spawn() {
+	go speak(Dog{})
+	defer direct()
+}
+
+// unused is reachable from nothing above: the reachability test's
+// negative case.
+func unused() string { return speak(&Cat{}) }
+
+// cycleA and cycleB form the SCC test's two-node cycle.
+func cycleA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return cycleB(n - 1)
+}
+
+// cycleB closes the cycle.
+func cycleB(n int) int { return cycleA(n) }
+
+var _ = []any{methodValue, closures, spawn, unused, cycleA, Mute{}.Quiet}

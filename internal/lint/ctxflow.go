@@ -38,8 +38,9 @@ var CtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "forbid fresh or dropped contexts on blocking call chains in the " +
 		"serving layer",
-	Scope: ctxFlowScope,
-	Run:   runCtxFlow,
+	ScopeDoc: "internal/server and internal/core",
+	Scope:    ctxFlowScope,
+	Run:      runCtxFlow,
 }
 
 // ctxFlowScope covers the serving layer: the HTTP server and the engine

@@ -23,7 +23,8 @@ var ErrCheckStrict = &Analyzer{
 	Name: "errcheckstrict",
 	Doc: "forbid silently dropped errors on closers, flushes, cache " +
 		"stores, and sink writes (including blank-assigned ResponseWriter writes)",
-	Run: runErrCheckStrict,
+	ScopeDoc: "all packages",
+	Run:      runErrCheckStrict,
 }
 
 // strictNames are the exact callee names checked; names starting with

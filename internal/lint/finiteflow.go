@@ -21,8 +21,9 @@ var FiniteFlow = &Analyzer{
 	Name: "finiteflow",
 	Doc: "forbid unclamped float divisions inside JSON/trace boundary " +
 		"literals in model packages",
-	Scope: modelScope,
-	Run:   runFiniteFlow,
+	ScopeDoc: "model packages (gpu, trace, report, telemetry, stats, roofline, core, units)",
+	Scope:    modelScope,
+	Run:      runFiniteFlow,
 }
 
 func runFiniteFlow(p *Pass) {

@@ -26,6 +26,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"repro/internal/lint/callgraph"
 )
 
 // Finding is one analyzer diagnostic.
@@ -51,19 +53,36 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one invariant checker.
+// Analyzer is one invariant checker. An analyzer is either per-package
+// (Run) or whole-program (RunProgram): per-package analyzers see one
+// package at a time, whole-program analyzers see every in-scope package at
+// once and can follow the call graph across package boundaries.
 type Analyzer struct {
 	Name string
 	Doc  string
+	// ScopeDoc is the human-readable scope for `cactuslint -list`; empty
+	// means "all packages".
+	ScopeDoc string
 	// Scope restricts the analyzer to packages for which it returns true.
 	// A nil Scope means every package.
 	Scope func(pkgPath string) bool
-	Run   func(*Pass)
+	// NeedsCallGraph requests the whole-program call graph; Run builds it
+	// once per invocation and shares it across every analyzer that asks.
+	NeedsCallGraph bool
+	// Run is the per-package entry point; nil for whole-program analyzers.
+	Run func(*Pass)
+	// RunProgram is the whole-program entry point, called once with every
+	// in-scope package; nil for per-package analyzers.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass couples an analyzer with one package for a single run.
 type Pass struct {
 	*Package
+	// Graph is the whole-program call graph, non-nil iff the analyzer
+	// declared NeedsCallGraph. It spans every analyzed package, not just
+	// this one.
+	Graph    *callgraph.Graph
 	analyzer *Analyzer
 	findings *[]Finding
 }
@@ -77,11 +96,35 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ProgramPass couples a whole-program analyzer with every in-scope package
+// for a single run.
+type ProgramPass struct {
+	// Pkgs are the packages the analyzer's Scope admits, in path order.
+	Pkgs []*Package
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Graph is the whole-program call graph (covering all packages, even
+	// out-of-scope ones), non-nil iff the analyzer declared
+	// NeedsCallGraph.
+	Graph    *callgraph.Graph
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzers returns every cactuslint analyzer in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoDeterminism, FiniteFlow, LaunchPath, ErrCheckStrict, UnitSafety,
-		MutexGuard, CtxFlow, AtomicSafe,
+		MutexGuard, CtxFlow, AtomicSafe, LockOrder, GoLife,
 	}
 }
 
@@ -125,22 +168,62 @@ func gpuPackage(path string) bool {
 }
 
 // Run applies the analyzers to the packages, filters suppressed findings,
-// and returns the rest sorted by position.
+// and returns the rest sorted by position. When any requested analyzer
+// declares NeedsCallGraph the whole-program call graph is built exactly
+// once, over every package, and shared.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var all []Finding
+	graph := sharedGraph(pkgs, analyzers)
+	// Suppressions are collected globally so whole-program findings filter
+	// the same way per-package ones do.
+	supAll := make(map[string]map[int][]directive)
 	for _, pkg := range pkgs {
 		sup, malformed := suppressions(pkg)
 		all = append(all, malformed...)
+		for file, lines := range sup {
+			supAll[file] = lines
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if a.Scope != nil && !a.Scope(pkg.Path) {
+			if a.Run == nil || a.Scope != nil && !a.Scope(pkg.Path) {
 				continue
 			}
 			var fs []Finding
-			a.Run(&Pass{Package: pkg, analyzer: a, findings: &fs})
+			pass := &Pass{Package: pkg, analyzer: a, findings: &fs}
+			if a.NeedsCallGraph {
+				pass.Graph = graph
+			}
+			a.Run(pass)
 			for _, f := range fs {
-				if !suppressed(sup, f) {
+				if !suppressed(supAll, f) {
 					all = append(all, f)
 				}
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		var scoped []*Package
+		for _, pkg := range pkgs {
+			if a.Scope == nil || a.Scope(pkg.Path) {
+				scoped = append(scoped, pkg)
+			}
+		}
+		if len(scoped) == 0 {
+			continue
+		}
+		var fs []Finding
+		pass := &ProgramPass{Pkgs: scoped, Fset: scoped[0].Fset, analyzer: a, findings: &fs}
+		if a.NeedsCallGraph {
+			pass.Graph = graph
+		}
+		a.RunProgram(pass)
+		for _, f := range fs {
+			if !suppressed(supAll, f) {
+				all = append(all, f)
 			}
 		}
 	}
@@ -158,6 +241,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		return a.Message < b.Message
 	})
 	return all
+}
+
+// sharedGraph builds the whole-program call graph once per Run when any
+// requested analyzer asks for it, or returns nil.
+func sharedGraph(pkgs []*Package, analyzers []*Analyzer) *callgraph.Graph {
+	needed := false
+	for _, a := range analyzers {
+		if a.NeedsCallGraph {
+			needed = true
+			break
+		}
+	}
+	if !needed || len(pkgs) == 0 {
+		return nil
+	}
+	srcs := make([]callgraph.Source, len(pkgs))
+	for i, p := range pkgs {
+		srcs[i] = callgraph.Source{Path: p.Path, Files: p.Files, Info: p.Info, Pkg: p.Types}
+	}
+	return callgraph.Build(pkgs[0].Fset, srcs)
 }
 
 // ignorePrefix opens a suppression directive.

@@ -1,0 +1,492 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/callgraph"
+)
+
+// LockOrder detects potential deadlocks from inconsistent mutex
+// acquisition order. It is whole-program: every function's syntactic
+// Lock/RLock…Unlock/RUnlock intervals are computed, the locks acquired by
+// its callees (transitively, over the call graph) are folded in, and every
+// "B acquired while A is held" pair becomes an edge A → B in a global
+// lock-acquisition graph. A cycle in that graph means two call chains can
+// acquire the same locks in opposite orders — the classic ABBA deadlock —
+// and is reported once, with the full witness chain (one file:line per
+// edge).
+//
+// Locks are identified by class, not instance: every sync.Mutex/RWMutex
+// field of a named type is one class (telemetry.Histogram.mu), as is every
+// package-level or local mutex variable. Class-level tracking cannot
+// distinguish two instances of the same type locked in sequence (shard A
+// then shard B), which would self-cycle; the analyzer therefore reports a
+// same-class edge only when it arises through a call (a function that
+// locks m and then calls, while holding it, something that locks m again —
+// a guaranteed self-deadlock for a plain Mutex), not when one body locks
+// two sibling instances directly. Goroutine spawns are not "while
+// holding": a `go` statement's callee acquires its locks on another
+// schedule, so go edges are excluded from propagation.
+//
+// The held interval is syntactic and flow-insensitive: a lock is held from
+// its Lock call to the first following non-deferred Unlock of the same
+// class in the same body, or to the end of the body (deferred Unlock, or
+// none). That over-approximates branchy early-unlock code toward more held
+// time, which can only add edges — the right bias for a potential-deadlock
+// reporter whose cycles are then human-reviewed.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "report cycles in the interprocedural lock-acquisition order " +
+		"(potential ABBA deadlocks) with a witness chain",
+	ScopeDoc:       "all packages (whole-program)",
+	NeedsCallGraph: true,
+	RunProgram:     runLockOrder,
+}
+
+// lockClass identifies one lock by declaration, not instance.
+type lockClass struct {
+	// key is the deterministic identity: pkgpath.Type.field or
+	// pkgpath.var (or pkgpath.func.var for a local mutex).
+	key string
+	// name renders the class in messages, with the short package name.
+	name string
+}
+
+// lockEvent is one Lock/Unlock call in a function body.
+type lockEvent struct {
+	class    lockClass
+	pos      token.Pos
+	acquire  bool // Lock/RLock
+	deferred bool // inside a defer statement
+}
+
+// lockEdge is one "to acquired while from is held" observation.
+type lockEdge struct {
+	from, to lockClass
+	pos      token.Pos // the acquisition (or mediating call) site
+	via      string    // "" for direct nesting, else the callee's name
+}
+
+// runLockOrder builds the lock-acquisition graph and reports its cycles.
+func runLockOrder(p *ProgramPass) {
+	// events and direct acquisition classes per call-graph node, for the
+	// packages in scope; the call graph itself spans everything analyzed.
+	events := make(map[*callgraph.Node][]lockEvent)
+	for _, pkg := range p.Pkgs {
+		collectLockEvents(pkg, p.Graph, events)
+	}
+
+	trans := &transAcquires{events: events, memo: make(map[*callgraph.Node][]lockClass)}
+	edges := make(map[[2]string]*lockEdge)
+	addEdge := func(e lockEdge) {
+		k := [2]string{e.from.key, e.to.key}
+		if _, ok := edges[k]; !ok {
+			edges[k] = &e
+		}
+	}
+
+	for _, node := range p.Graph.Nodes {
+		evs := events[node]
+		if len(evs) == 0 {
+			continue
+		}
+		for i, a := range evs {
+			if !a.acquire {
+				continue
+			}
+			end := heldEnd(evs, i, node.Body.End())
+			// Direct nesting: a different class acquired inside the
+			// interval. Same-class direct nesting is skipped — it is
+			// usually two sibling instances (shards), not recursion.
+			for j, b := range evs {
+				if j == i || !b.acquire || b.pos <= a.pos || b.pos >= end {
+					continue
+				}
+				if b.class.key != a.class.key {
+					addEdge(lockEdge{from: a.class, to: b.class, pos: b.pos})
+				}
+			}
+			// Call-mediated: everything a callee (transitively) acquires
+			// is acquired while a is held. go-spawned callees run on
+			// their own schedule; lexical containment is not a call.
+			for _, ce := range node.Out {
+				if ce.Pos <= a.pos || ce.Pos >= end || ce.Go || ce.Kind == callgraph.Closure {
+					continue
+				}
+				for _, c := range trans.of(ce.Callee) {
+					addEdge(lockEdge{from: a.class, to: c, pos: ce.Pos, via: ce.Callee.Name})
+				}
+			}
+		}
+	}
+
+	reportLockCycles(p, edges)
+}
+
+// heldEnd returns the end of the held interval opened by evs[i]: the first
+// following non-deferred release of the same class, or bodyEnd.
+func heldEnd(evs []lockEvent, i int, bodyEnd token.Pos) token.Pos {
+	a := evs[i]
+	for _, e := range evs[i+1:] {
+		if !e.acquire && !e.deferred && e.class.key == a.class.key && e.pos > a.pos {
+			return e.pos
+		}
+	}
+	return bodyEnd
+}
+
+// transAcquires memoizes the union of lock classes acquired by a node and
+// everything reachable from it over call edges (no go spawns, no bare
+// lexical containment).
+type transAcquires struct {
+	events map[*callgraph.Node][]lockEvent
+	memo   map[*callgraph.Node][]lockClass
+}
+
+func (t *transAcquires) of(n *callgraph.Node) []lockClass {
+	if got, ok := t.memo[n]; ok {
+		return got
+	}
+	// Mark before walking so call cycles terminate; the final value is
+	// computed over the full reachable set, so the placeholder is only
+	// visible to re-entrant lookups of this same node.
+	t.memo[n] = nil
+	seen := make(map[string]lockClass)
+	var walk func(m *callgraph.Node, visited map[*callgraph.Node]bool)
+	walk = func(m *callgraph.Node, visited map[*callgraph.Node]bool) {
+		if visited[m] {
+			return
+		}
+		visited[m] = true
+		for _, e := range t.events[m] {
+			if e.acquire {
+				seen[e.class.key] = e.class
+			}
+		}
+		for _, e := range m.Out {
+			if e.Go || e.Kind == callgraph.Closure {
+				continue
+			}
+			walk(e.Callee, visited)
+		}
+	}
+	walk(n, make(map[*callgraph.Node]bool))
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]lockClass, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	t.memo[n] = out
+	return out
+}
+
+// collectLockEvents walks every function node of pkg and records its
+// Lock/Unlock calls in source order, excluding nested literals (their
+// events belong to their own nodes).
+func collectLockEvents(pkg *Package, g *callgraph.Graph, events map[*callgraph.Node][]lockEvent) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			node := g.NodeOf(fn)
+			if node == nil {
+				continue
+			}
+			collectBodyLockEvents(pkg, g, node, fd.Body, fd.Name.Name, events)
+		}
+	}
+}
+
+// collectBodyLockEvents records one body's events and recurses into its
+// literals as separate nodes.
+func collectBodyLockEvents(pkg *Package, g *callgraph.Graph, node *callgraph.Node, body *ast.BlockStmt, funcName string, events map[*callgraph.Node][]lockEvent) {
+	inDefer := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			if child := g.NodeOfLit(st); child != nil {
+				collectBodyLockEvents(pkg, g, child, st.Body, funcName, events)
+			}
+			return false
+		case *ast.DeferStmt:
+			inDefer[st.Call] = true
+			return true
+		case *ast.CallExpr:
+			ev, ok := lockEventOf(pkg, st, funcName)
+			if !ok {
+				return true
+			}
+			ev.deferred = inDefer[st]
+			events[node] = append(events[node], ev)
+			return true
+		}
+		return true
+	})
+	sort.SliceStable(events[node], func(i, j int) bool {
+		return events[node][i].pos < events[node][j].pos
+	})
+}
+
+// syncLockMethod reports whether call invokes (R)Lock/(R)Unlock on a
+// sync.Mutex or sync.RWMutex, and whether it acquires.
+func syncLockMethod(info *types.Info, call *ast.CallExpr) (sel *ast.SelectorExpr, acquire, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK {
+		return nil, false, false
+	}
+	fn, fnOK := info.Uses[sel.Sel].(*types.Func)
+	if !fnOK || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return sel, true, true
+	case "Unlock", "RUnlock":
+		return sel, false, true
+	}
+	return nil, false, false
+}
+
+// lockEventOf classifies one call as a lock event and derives its class.
+func lockEventOf(pkg *Package, call *ast.CallExpr, funcName string) (lockEvent, bool) {
+	sel, acquire, ok := syncLockMethod(pkg.Info, call)
+	if !ok {
+		return lockEvent{}, false
+	}
+	class, ok := classOf(pkg, sel, funcName)
+	if !ok {
+		return lockEvent{}, false
+	}
+	return lockEvent{class: class, pos: call.Pos(), acquire: acquire}, true
+}
+
+// classOf derives the lock class of a (R)Lock/(R)Unlock call's receiver:
+// the owning named type plus field name for struct fields (including a
+// promoted embedded mutex), the package plus variable name otherwise.
+func classOf(pkg *Package, fun *ast.SelectorExpr, funcName string) (lockClass, bool) {
+	switch recv := ast.Unparen(fun.X).(type) {
+	case *ast.SelectorExpr:
+		// s.mu.Lock(): identify the field via its selection.
+		if s, ok := pkg.Info.Selections[recv]; ok {
+			if named := namedOf(s.Recv()); named != nil {
+				return fieldClass(named, recv.Sel.Name), true
+			}
+		}
+		// pkgname.mu.Lock(): a package-level mutex accessed qualified.
+		if v, ok := pkg.Info.Uses[recv.Sel].(*types.Var); ok {
+			return varClass(v, funcName), true
+		}
+	case *ast.Ident:
+		obj := pkg.Info.Uses[recv]
+		if obj == nil {
+			obj = pkg.Info.Defs[recv]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return varClass(v, funcName), true
+		}
+	default:
+		// s.Lock() with an embedded mutex surfaces as a selection on fun
+		// itself; handled below.
+	}
+	// Promoted method on an embedded mutex: s.Lock().
+	if s, ok := pkg.Info.Selections[fun]; ok {
+		if named := namedOf(s.Recv()); named != nil {
+			muName := "Mutex"
+			if strings.Contains(s.Obj().Type().String(), "RWMutex") {
+				muName = "RWMutex"
+			}
+			return fieldClass(named, muName), true
+		}
+	}
+	return lockClass{}, false
+}
+
+// namedOf unwraps pointers to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fieldClass renders a struct-field lock class.
+func fieldClass(named *types.Named, field string) lockClass {
+	obj := named.Obj()
+	pkgPath, pkgName := "", ""
+	if obj.Pkg() != nil {
+		pkgPath, pkgName = obj.Pkg().Path(), obj.Pkg().Name()
+	}
+	return lockClass{
+		key:  pkgPath + "." + obj.Name() + "." + field,
+		name: pkgName + "." + obj.Name() + "." + field,
+	}
+}
+
+// varClass renders a variable lock class; local mutexes are qualified by
+// their function so two functions' locals never alias.
+func varClass(v *types.Var, funcName string) lockClass {
+	pkgPath, pkgName := "", ""
+	if v.Pkg() != nil {
+		pkgPath, pkgName = v.Pkg().Path(), v.Pkg().Name()
+	}
+	if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return lockClass{key: pkgPath + "." + v.Name(), name: pkgName + "." + v.Name()}
+	}
+	return lockClass{
+		key:  pkgPath + "." + funcName + "." + v.Name(),
+		name: pkgName + "." + funcName + "." + v.Name(),
+	}
+}
+
+// reportLockCycles finds the strongly connected components of the lock
+// graph and reports each cycle once, deterministically, with one witness
+// per edge.
+func reportLockCycles(p *ProgramPass, edges map[[2]string]*lockEdge) {
+	succ := make(map[string][]string)
+	classes := make(map[string]bool)
+	for k := range edges {
+		succ[k[0]] = append(succ[k[0]], k[1])
+		classes[k[0]] = true
+		classes[k[1]] = true
+	}
+	for _, s := range succ {
+		sort.Strings(s)
+	}
+	var order []string
+	for c := range classes {
+		order = append(order, c)
+	}
+	sort.Strings(order)
+
+	for _, comp := range lockSCCs(order, succ) {
+		selfLoop := len(comp) == 1 && edges[[2]string{comp[0], comp[0]}] != nil
+		if len(comp) < 2 && !selfLoop {
+			continue
+		}
+		reportOneCycle(p, comp, edges, succ)
+	}
+}
+
+// lockSCCs is Tarjan over the (tiny) lock graph, deterministic via the
+// pre-sorted vertex and successor orders; each component's members are
+// sorted.
+func lockSCCs(order []string, succ map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range order {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+	return comps
+}
+
+// reportOneCycle walks one cycle through the component, starting from its
+// smallest class, and emits a single finding whose message carries every
+// edge's witness.
+func reportOneCycle(p *ProgramPass, comp []string, edges map[[2]string]*lockEdge, succ map[string][]string) {
+	inComp := make(map[string]bool, len(comp))
+	for _, c := range comp {
+		inComp[c] = true
+	}
+	start := comp[0]
+	path := []string{start}
+	cur := start
+	visited := map[string]bool{start: true}
+	for {
+		next := ""
+		for _, w := range succ[cur] {
+			if w == start && len(path) > 1 || inComp[w] && !visited[w] {
+				next = w
+				break
+			}
+		}
+		if next == "" {
+			// Self-loop component.
+			next = start
+		}
+		path = append(path, next)
+		if next == start {
+			break
+		}
+		visited[next] = true
+		cur = next
+	}
+
+	var names []string
+	var witnesses []string
+	var firstPos token.Pos
+	for i := 0; i+1 < len(path); i++ {
+		e := edges[[2]string{path[i], path[i+1]}]
+		if e == nil {
+			continue
+		}
+		if firstPos == token.NoPos {
+			firstPos = e.pos
+		}
+		names = append(names, e.from.name)
+		pos := p.Fset.Position(e.pos)
+		w := fmt.Sprintf("%s before %s at %s:%d", e.from.name, e.to.name,
+			pos.Filename, pos.Line)
+		if e.via != "" {
+			w += fmt.Sprintf(" (via call to %s)", e.via)
+		}
+		witnesses = append(witnesses, w)
+	}
+	if len(witnesses) == 0 {
+		return
+	}
+	names = append(names, names[0])
+	p.Reportf(firstPos,
+		"potential deadlock: lock-order cycle %s; %s",
+		strings.Join(names, " -> "), strings.Join(witnesses, "; "))
+}

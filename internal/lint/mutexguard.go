@@ -32,7 +32,8 @@ var MutexGuard = &Analyzer{
 	Name: "mutexguard",
 	Doc: "require accesses to `guarded by <mu>`-annotated struct fields to " +
 		"happen under the named mutex or in a *locked helper",
-	Run: runMutexGuard,
+	ScopeDoc: "all packages",
+	Run:      runMutexGuard,
 }
 
 // guardedRe extracts the mutex name from a "guarded by <mu>" annotation.

@@ -16,8 +16,9 @@ var NoDeterminism = &Analyzer{
 	Name: "nodeterminism",
 	Doc: "forbid wall-clock time, the global math/rand source, and " +
 		"map-iteration order reaching emitted output in model packages",
-	Scope: modelScope,
-	Run:   runNoDeterminism,
+	ScopeDoc: "model packages (gpu, trace, report, telemetry, stats, roofline, core, units)",
+	Scope:    modelScope,
+	Run:      runNoDeterminism,
 }
 
 // allowedRand are math/rand constructors: they build seeded generators and

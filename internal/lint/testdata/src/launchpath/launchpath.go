@@ -1,5 +1,8 @@
-// Package fixture exercises the launchpath analyzer: constructing the
-// model's result types outside internal/gpu carries // want comments.
+// Package fixture exercises the launchpath analyzer: fabricating the
+// model's result types outside internal/gpu — composite literals, field
+// writes, zero-value escapes, and laundering through helpers or
+// interface dispatch — carries // want comments; results genuinely
+// derived from Device.Launch are false-positive coverage.
 package fixture
 
 import "gpu"
@@ -30,4 +33,70 @@ func suppressed() gpu.LaunchResult {
 	return gpu.LaunchResult{Name: "golden"}
 }
 
-var _ = []any{fabricate, handOcc, launch, local, suppressed}
+// helperFab launders a result without a composite literal — the hole
+// the old package-position check left open.
+func helperFab() gpu.LaunchResult {
+	var r gpu.LaunchResult
+	r.Time = 2 // want "field write to gpu.LaunchResult"
+	return r
+}
+
+// escape re-exports helperFab's fabrication through a plain call.
+func escape() gpu.LaunchResult {
+	return helperFab() // want "fabricated outside internal/gpu by helperFab"
+}
+
+// zeroOnly lets an untouched zero value escape as if it were modeled.
+func zeroOnly() gpu.Occupancy {
+	var o gpu.Occupancy
+	return o // want "zero-value gpu.Occupancy escapes"
+}
+
+// bump mutates a modeled result in place.
+func bump(r *gpu.LaunchResult) {
+	r.Time++ // want "field write to gpu.LaunchResult"
+}
+
+// passthrough derives its result from the device: clean.
+func passthrough(d *gpu.Device) gpu.LaunchResult {
+	r, _ := d.Launch("k")
+	return r
+}
+
+// maxTime selects among modeled results; best is wholly reassigned from
+// modeled values, so its zero declaration is not an escape.
+func maxTime(rs []gpu.LaunchResult) gpu.LaunchResult {
+	var best gpu.LaunchResult
+	for _, r := range rs {
+		if r.Time > best.Time {
+			best = r
+		}
+	}
+	return best
+}
+
+// copyOut copies modeled results into a fresh slice: make+copy is clean.
+func copyOut(rs []gpu.LaunchResult) []gpu.LaunchResult {
+	out := make([]gpu.LaunchResult, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// provider dispatch: the cascade resolves interface calls through the
+// call graph, so a fabricating implementation taints viaIface.
+type provider interface{ result() gpu.LaunchResult }
+
+type forger struct{}
+
+func (forger) result() gpu.LaunchResult {
+	var r gpu.LaunchResult
+	r.Name = "forged" // want "field write to gpu.LaunchResult"
+	return r
+}
+
+func viaIface(p provider) gpu.LaunchResult {
+	return p.result() // want "fabricated outside internal/gpu by"
+}
+
+var _ = []any{fabricate, handOcc, launch, local, suppressed, helperFab,
+	escape, zeroOnly, bump, passthrough, maxTime, copyOut, viaIface}

@@ -33,8 +33,9 @@ var UnitSafety = &Analyzer{
 	Name: "unitsafety",
 	Doc: "enforce explicit conversions, constructor provenance, and guarded " +
 		"boundaries for internal/units types",
-	Scope: unitSafetyScope,
-	Run:   runUnitSafety,
+	ScopeDoc: "model packages plus profiler and memsim, excluding internal/units itself",
+	Scope:    unitSafetyScope,
+	Run:      runUnitSafety,
 }
 
 // unitSafetyScope covers the metric-producing packages — the model scope
